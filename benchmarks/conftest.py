@@ -1,0 +1,37 @@
+"""Shared fixtures for the figure benchmarks.
+
+Each benchmark regenerates one panel of the paper's evaluation (Figures
+6-9) and prints the rows/series the paper plots.  Results are also
+written to ``results/`` so EXPERIMENTS.md can reference them.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    path = os.path.abspath(RESULTS_DIR)
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+@pytest.fixture
+def emit(results_dir, capsys):
+    """Print a report and persist it under results/<name>.txt."""
+
+    def _emit(name: str, text: str) -> None:
+        with capsys.disabled():
+            print(f"\n=== {name} ===")
+            print(text)
+        with open(os.path.join(results_dir, f"{name}.txt"), "w") as fh:
+            fh.write(text + "\n")
+
+    return _emit

@@ -1,0 +1,115 @@
+"""Edge deployment vs. centralized service — the paper's Figure 1 claim.
+
+The paper's opening argument: moving service logic (and the right
+replication protocol per object class) to the edge improves latency for
+the dominant, read-heavy interactions.  This bench runs the bookstore's
+TPC-W-style mix (95 % browsing/profile reads, 5 % purchases) in two
+deployments:
+
+* **centralized** — all service logic at the origin site; an
+  application client reaches it over the client-WAN (86 ms one way)
+  unless it happens to live next door (one of three does);
+* **edge** — the full `repro.apps.bookstore` deployment: every customer
+  served by their closest edge (8 ms), catalog cached locally, inventory
+  escrowed, orders streamed, profiles on DQVL.
+
+Expected shape: browsing collapses from a WAN round trip to a LAN one;
+purchases get *slower* at the edge (the DQVL profile write pays quorum
+rounds that the centralized design gets for free locally) — and the
+workload mean still drops by several x, because reads dominate.  That
+asymmetry is the paper's thesis in one table.
+"""
+
+import pytest
+
+from repro.apps.bookstore import build_bookstore
+from repro.edge import EdgeTopology, EdgeTopologyConfig
+from repro.harness import format_table
+from repro.sim import Simulator
+
+NUM_EDGES = 9
+NUM_CUSTOMERS = 3
+OPS = 120
+WRITE_RATIO = 0.05  # purchase probability per interaction
+
+
+def run_deployment(centralized: bool, seed: int = 6):
+    sim = Simulator(seed=seed)
+    # A centralized service is ONE site hosting everything — including
+    # the profile store, which then needs no cross-site quorums at all.
+    num_sites = 1 if centralized else NUM_EDGES
+    topology = EdgeTopology(
+        sim, EdgeTopologyConfig(num_edges=num_sites, num_clients=NUM_CUSTOMERS)
+    )
+    store = build_bookstore(
+        topology, stock={"book": 10_000}, inventory_batch=50,
+        order_flush_ms=500.0,
+    )
+    store.catalog_origin.publish("book", {"price": 12})
+
+    # app-level hop, computed against the real geography (the paper's
+    # 8 ms LAN / 86 ms client-WAN): customer c lives next to city c; the
+    # centralized site is city 0.
+    def hop_ms(customer: int) -> float:
+        served_at = 0 if centralized else customer
+        return 2 * (8.0 if served_at == customer else 86.0)
+
+    latencies = {"read": [], "write": []}
+    procs = []
+    for c in range(NUM_CUSTOMERS):
+        svc = store.service_for_edge(0 if centralized else c)
+
+        def session(c=c, svc=svc):
+            yield sim.sleep(200.0)
+            for i in range(OPS):
+                start = sim.now
+                if sim.rng.random() < WRITE_RATIO:
+                    result = yield from svc.purchase(f"cust{c}", "book")
+                    assert result.ok
+                    latencies["write"].append(sim.now - start + hop_ms(c))
+                else:
+                    if i % 2 == 0:
+                        yield from svc.browse("book")
+                    else:
+                        yield from svc.get_profile(f"cust{c}")
+                    latencies["read"].append(sim.now - start + hop_ms(c))
+
+        procs.append(sim.spawn(session()))
+    sim.run(until=3_600_000.0)
+    assert all(p.done for p in procs)
+
+    def mean(xs):
+        return sum(xs) / len(xs) if xs else 0.0
+
+    overall = latencies["read"] + latencies["write"]
+    return mean(latencies["read"]), mean(latencies["write"]), mean(overall)
+
+
+def test_edge_vs_centralized(benchmark, emit):
+    def experiment():
+        rows = []
+        for name, centralized in (("centralized", True), ("edge", False)):
+            read_ms, write_ms, overall_ms = run_deployment(centralized)
+            rows.append([name, round(read_ms, 1), round(write_ms, 1),
+                         round(overall_ms, 1)])
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    emit(
+        "bookstore_edge_vs_centralized",
+        format_table(
+            ["deployment", "read ms", "purchase ms", "overall ms"],
+            rows,
+            title=(
+                "Bookstore, TPC-W mix (95% reads): centralized origin vs "
+                "edge deployment"
+            ),
+        ),
+    )
+    central, edge = rows
+    # Reads collapse to the LAN at the edge...
+    assert edge[1] < central[1] / 3
+    # ...purchases pay for their consistency (DQVL quorum writes)...
+    assert edge[2] > central[2]
+    # ...and the read-dominated mean still wins by a wide margin.
+    assert edge[3] < central[3] / 2

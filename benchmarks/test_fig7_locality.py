@@ -1,0 +1,105 @@
+"""Figure 7 — response time vs. access locality (Section 4.1).
+
+Panel (a): per-protocol response time at 5 % writes and 90 % access
+locality (10 % of requests served by a distant replica — the paper's
+pessimistic bound for edge services).
+
+Panel (b): overall response time as locality sweeps 0 → 1.
+
+Expected shape:
+
+* DQVL outperforms primary/backup and majority at 90 % locality while
+  keeping the same consistency guarantees;
+* DQVL's response time improves monotonically with locality; majority
+  and primary/backup are flat (they cannot exploit locality);
+* ROWA-Async is the floor (optimal response time, weak consistency);
+* the DQVL-vs-strong-baseline crossover sits around 70 % locality,
+  matching the paper's deployment guidance.
+"""
+
+import pytest
+
+from repro.harness import ExperimentConfig, format_series, format_table, run_response_time
+
+PROTOCOLS = ["dqvl", "majority", "primary_backup", "rowa", "rowa_async"]
+OPS = 150
+WARMUP = 10
+SEED = 77
+
+
+def _run(protocol: str, locality: float, write_ratio: float = 0.05):
+    return run_response_time(
+        ExperimentConfig(
+            protocol=protocol,
+            write_ratio=write_ratio,
+            locality=locality,
+            ops_per_client=OPS,
+            warmup_ops=WARMUP,
+            seed=SEED,
+        )
+    )
+
+
+def test_fig7a_locality_90pct(benchmark, emit):
+    """Figure 7(a): response time at 5 % writes, 90 % locality."""
+
+    def experiment():
+        return {p: _run(p, locality=0.9) for p in PROTOCOLS}
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    rows = []
+    for name, res in results.items():
+        s = res.summary
+        rows.append([name, s.overall.mean, s.reads.mean, s.writes.mean])
+    emit(
+        "fig7a_locality_090",
+        format_table(
+            ["protocol", "overall ms", "read ms", "write ms"],
+            rows,
+            title="Fig 7(a): response time at write ratio 0.05, locality 0.9",
+        ),
+    )
+
+    overall = {p: results[p].summary.overall.mean for p in PROTOCOLS}
+    # DQVL still beats both strong baselines at 90% locality...
+    assert overall["dqvl"] < overall["majority"]
+    assert overall["dqvl"] < overall["primary_backup"]
+    # ...and ROWA-Async remains the (weakly consistent) floor.
+    assert overall["rowa_async"] <= min(overall.values()) + 1.0
+
+
+def test_fig7b_locality_sweep(benchmark, emit):
+    """Figure 7(b): overall response time vs. access locality."""
+    localities = [0.0, 0.25, 0.5, 0.7, 0.9, 1.0]
+
+    def experiment():
+        table = {}
+        for p in PROTOCOLS:
+            table[p] = [_run(p, locality=l).summary.overall.mean for l in localities]
+        return table
+
+    table = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    emit(
+        "fig7b_locality_sweep",
+        format_series(
+            "locality",
+            localities,
+            [(p, table[p]) for p in PROTOCOLS],
+            title="Fig 7(b): overall response time (ms) vs access locality, w=0.05",
+        ),
+    )
+
+    dqvl = table["dqvl"]
+    majority = table["majority"]
+    pb = table["primary_backup"]
+
+    # DQVL improves monotonically with locality (modulo sim noise).
+    assert dqvl[0] > dqvl[-1]
+    assert all(a >= b - 12.0 for a, b in zip(dqvl, dqvl[1:]))
+    # Majority and primary/backup are locality-insensitive (flat).
+    assert max(majority) - min(majority) < 0.15 * max(majority)
+    assert max(pb) - min(pb) < 0.15 * max(pb)
+    # The paper's guidance: at >= 70% locality DQVL is preferable to
+    # the strong baselines; at 0% it is not.
+    assert dqvl[3] < majority[3] and dqvl[3] <= pb[3] * 1.05  # locality 0.7
+    assert dqvl[0] > pb[0]  # locality 0.0: DQVL loses

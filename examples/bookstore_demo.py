@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""The full edge bookstore: every object class, one application.
+
+Deploys the paper's motivating e-commerce application across nine edge
+servers and runs a day at the (simulated) shop:
+
+* the **catalog** (single-writer class) gets price updates from the
+  origin and is browsed locally everywhere;
+* customers **purchase** — which reserves escrowed **inventory**
+  (commutative class), records the **order** locally with reliable
+  async delivery to the origin (multi-writer/single-reader class), and
+  updates the customer **profile** through **DQVL** (the paper's
+  contribution: multi-writer/multi-reader with locality);
+* one customer travels between cities mid-session, exercising exactly
+  the cross-edge profile access DQVL exists for;
+* at closing time, the invariants are audited: no overselling, every
+  accepted order at the origin exactly once, profile histories complete.
+
+Run:  python examples/bookstore_demo.py
+"""
+
+from repro.apps.bookstore import build_bookstore
+from repro.edge import EdgeTopology, EdgeTopologyConfig
+from repro.sim import Simulator
+
+NUM_EDGES = 9
+STOCK = {"bestseller": 40, "rare-signed-copy": 3, "paperback": 200}
+
+
+def main() -> None:
+    sim = Simulator(seed=2005)
+    topology = EdgeTopology(sim, EdgeTopologyConfig(num_edges=NUM_EDGES, num_clients=1))
+    # Small escrow batches: with nine edges sharing 40 bestsellers, big
+    # allotments would strand stock at idle edges (see A-series note in
+    # tests/test_bookstore.py::test_never_oversell_under_contention).
+    store = build_bookstore(
+        topology, stock=dict(STOCK), order_flush_ms=500.0, inventory_batch=3
+    )
+
+    def log(text: str) -> None:
+        print(f"[{sim.now:9.0f} ms] {text}")
+
+    def day_at_the_shop():
+        # -- morning: the origin publishes the catalog ------------------
+        store.catalog_origin.publish("bestseller", {"title": "Dual Quorums", "price": 24})
+        store.catalog_origin.publish("rare-signed-copy", {"title": "Leases", "price": 250})
+        store.catalog_origin.publish("paperback", {"title": "Epidemics", "price": 9})
+        yield sim.sleep(500.0)
+        version, data = yield from store.service_for_edge(4).browse("bestseller")
+        log(f"edge 4 browses the bestseller: v{version} {data}")
+
+        # -- a price change propagates ----------------------------------
+        store.catalog_origin.publish("bestseller", {"title": "Dual Quorums", "price": 19})
+        yield sim.sleep(500.0)
+        version, data = yield from store.service_for_edge(7).browse("bestseller")
+        log(f"edge 7 sees the sale price: v{version} price={data['price']}")
+
+        # -- shoppers at every edge --------------------------------------
+        log("shoppers arrive at all nine edges ...")
+        shoppers = []
+        for k in range(NUM_EDGES):
+            def shop(k=k):
+                svc = store.service_for_edge(k)
+                for i in range(4):
+                    item = "paperback" if i % 2 else "bestseller"
+                    result = yield from svc.purchase(f"cust-{k}", item)
+                    assert result.ok, result.reason
+                    yield sim.sleep(sim.rng.uniform(50, 400))
+
+            shoppers.append(sim.spawn(shop()))
+        for proc in shoppers:
+            yield proc
+        log(f"{store.units_sold()} units sold so far")
+
+        # -- the collector: everyone wants the rare signed copy ----------
+        log("five collectors race for the 3 rare signed copies ...")
+        outcomes = []
+
+        def collector(k):
+            result = yield from store.service_for_edge(k).purchase(f"collector-{k}", "rare-signed-copy")
+            outcomes.append((k, result.ok))
+
+        racers = [sim.spawn(collector(k)) for k in (1, 4, 8, 5, 2)]
+        for proc in racers:
+            yield proc
+        winners = [k for k, ok in outcomes if ok]
+        log(f"collectors who got one: {sorted(winners)} "
+            f"({len(outcomes) - len(winners)} politely declined — sold out)")
+        # escrow guards the global count; remaining copies may sit in the
+        # winner's edge allotment rather than spread across cities
+
+        # -- the travelling customer ------------------------------------
+        log("cust-0 flies from city 0 to city 6 and keeps shopping ...")
+        svc_away = store.service_for_edge(6)
+        result = yield from svc_away.purchase("cust-0", "paperback")
+        assert result.ok
+        profile = yield from svc_away.get_profile("cust-0")
+        log(f"their profile followed them: {len(profile['history'])} orders "
+            f"in the history, last item {profile['last_item']!r}")
+
+        # -- closing time -------------------------------------------------
+        yield sim.sleep(10_000.0)  # let the order streams drain
+
+    sim.run_process(day_at_the_shop(), until=3_600_000.0)
+    sim.run(until=sim.now + 10_000.0)
+
+    print("\n--- closing audit -------------------------------------------")
+    sold = store.units_sold()
+    accepted = store.orders_accepted()
+    received = store.orders_received()
+    print(f"  units sold            : {sold}")
+    print(f"  orders accepted/edge  : {accepted}")
+    print(f"  orders at the origin  : {received}")
+    print(f"  rare copies remaining : "
+          f"{store.inventory_origin.remaining('rare-signed-copy')} at origin + "
+          f"{sum(s.inventory.approximate_count('rare-signed-copy') for s in store.services)} escrowed")
+    assert received == accepted, "orders lost or duplicated!"
+    for item, initial in STOCK.items():
+        escrowed = sum(s.inventory.approximate_count(item) for s in store.services)
+        sold_item = sum(
+            o["quantity"] for o in store.order_origin.orders() if o["item"] == item
+        )
+        assert sold_item + escrowed + store.inventory_origin.remaining(item) == initial, item
+    print("  invariants            : no overselling, exactly-once orders ✓")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Consistency audit: DQVL vs. ROWA-Async under cross-node contention.
+
+The paper's argument for dual quorums over epidemic replication is not
+performance — ROWA-Async is faster — but *semantics*: epidemic systems
+return stale data with no bound, and the rare anomalies force complexity
+onto every application.  This audit makes that concrete:
+
+* three writers/readers contend on a handful of shared objects from
+  different edge replicas (low access locality — the hostile case);
+* the recorded operation history is checked against **regular register
+  semantics** (Lamport), exactly as defined in Section 2 of the paper;
+* for ROWA-Async the audit also measures staleness: how old the values
+  served were, and how stale they can get when a partition blocks
+  propagation.
+
+Run:  python examples/consistency_audit.py
+"""
+
+from repro.consistency import History, check_regular, staleness_report
+from repro.core import DqvlConfig, build_dqvl_cluster
+from repro.protocols import build_rowa_async_cluster
+from repro.sim import MatrixDelay, Network, Simulator
+from repro.workload import BernoulliOpStream, UniformKeyChooser, closed_loop
+
+NUM_REPLICAS = 3
+OPS_PER_CLIENT = 120
+WRITE_RATIO = 0.4
+SHARED_KEYS = ["cart", "profile", "session"]
+SEED = 11
+
+
+def make_network(sim: Simulator) -> Network:
+    """Clients sit 5 ms from their replica; replicas are 100 ms apart —
+    an edge geometry in which writes finish long before they propagate."""
+    delays = MatrixDelay({}, default_ms=100.0)
+    for k in range(NUM_REPLICAS):
+        delays.set(f"client{k}", f"s{k}", 5.0)
+        delays.set(f"client{k}", f"oqs{k}", 5.0)
+    return Network(sim, delays)
+
+
+def run_workload(sim, clients, label):
+    history = History()
+    procs = []
+    for client in clients:
+        stream = BernoulliOpStream(
+            sim.rng, UniformKeyChooser(SHARED_KEYS), WRITE_RATIO,
+            label=f"{label}-",
+        )
+        procs.append(
+            sim.spawn(closed_loop(sim, client, stream, history, OPS_PER_CLIENT))
+        )
+    sim.run(until=3_600_000.0)
+    assert all(p.done for p in procs)
+    return history
+
+
+def audit_rowa_async():
+    sim = Simulator(seed=SEED)
+    net = make_network(sim)
+    cluster = build_rowa_async_cluster(
+        sim, net, [f"s{k}" for k in range(NUM_REPLICAS)],
+        gossip_interval_ms=2_000.0,
+    )
+    clients = [
+        cluster.client(f"client{k}", prefer=f"s{k}") for k in range(NUM_REPLICAS)
+    ]
+    return run_workload(sim, clients, "ra")
+
+
+def audit_dqvl():
+    sim = Simulator(seed=SEED)
+    net = make_network(sim)
+    cluster = build_dqvl_cluster(
+        sim, net,
+        [f"s{k}" for k in range(NUM_REPLICAS)],     # IQS on the replicas
+        [f"oqs{k}" for k in range(NUM_REPLICAS)],   # OQS caches
+        DqvlConfig(
+            lease_length_ms=3_000.0,
+            inval_initial_timeout_ms=300.0,
+            qrpc_initial_timeout_ms=300.0,
+        ),
+    )
+    clients = [
+        cluster.client(f"client{k}", prefer_oqs=f"oqs{k}")
+        for k in range(NUM_REPLICAS)
+    ]
+    return run_workload(sim, clients, "dq")
+
+
+def report(name, history):
+    violations = check_regular(history)
+    staleness = staleness_report(history)
+    print(f"\n--- {name} " + "-" * max(0, 50 - len(name)))
+    print(f"    operations recorded     : {len(history)}")
+    print(f"    regular-semantics check : "
+          f"{'PASS' if not violations else f'{len(violations)} VIOLATIONS'}")
+    print(f"    stale reads             : {staleness.stale_reads} "
+          f"({staleness.stale_fraction:.1%})")
+    if staleness.stale_reads:
+        print(f"    worst staleness         : {staleness.max_staleness_ms:.0f} ms")
+        print(f"    mean versions behind    : {staleness.mean_version_lag:.2f}")
+    for violation in violations[:3]:
+        print(f"      e.g. {violation}")
+    return violations
+
+
+def main() -> None:
+    print(
+        "Three clients contend on shared objects from different replicas\n"
+        f"(write ratio {WRITE_RATIO:.0%}; replicas 100 ms apart — the\n"
+        "anti-locality workload DQVL must merely stay *correct* under)."
+    )
+
+    ra_violations = report("ROWA-Async (epidemic)", audit_rowa_async())
+    dq_violations = report("DQVL (dual quorum + volume leases)", audit_dqvl())
+
+    assert not dq_violations, "DQVL must be regular!"
+    print(
+        "\nReading: the epidemic baseline violated regular semantics "
+        f"{len(ra_violations)} times;\nDQVL recorded none — the guarantee "
+        "the paper trades a little latency for."
+    )
+
+
+if __name__ == "__main__":
+    main()

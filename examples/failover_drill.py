@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Failure drill: how DQVL writes survive unreachable read caches.
+
+The scenario that motivates volume leases (Section 3.2 of the paper):
+
+1. an edge cache (OQS node) validates an object and serves local reads;
+2. the cache drops off the network — crash or partition;
+3. a write arrives.  The basic dual-quorum protocol would now block
+   indefinitely (it must collect an invalidation ack).  DQVL instead
+   *waits out the volume lease* and completes;
+4. the cache comes back, renews its volume lease, receives the delayed
+   invalidation queued for it, and serves the fresh value — never the
+   stale one.
+
+The drill runs the same script against DQVL with two lease lengths and
+against the basic protocol, printing a timeline of what happened.
+
+Run:  python examples/failover_drill.py
+"""
+
+from repro.core import DqvlConfig, build_basic_dq_cluster, build_dqvl_cluster
+from repro.sim import ConstantDelay, Network, Simulator
+
+OUTAGE_MS = 12_000.0
+
+
+def drill(title: str, build, lease_ms: float) -> None:
+    print(f"\n=== {title} " + "=" * max(0, 55 - len(title)))
+    sim = Simulator(seed=1)
+    net = Network(sim, ConstantDelay(20.0))
+    config = DqvlConfig(
+        lease_length_ms=lease_ms,
+        inval_initial_timeout_ms=200.0,
+        qrpc_initial_timeout_ms=200.0,
+    )
+    cluster = build(
+        sim, net,
+        ["iqs0", "iqs1", "iqs2"],
+        ["oqs0", "oqs1", "oqs2"],
+        config,
+    )
+    writer = cluster.client("writer", prefer_oqs="oqs1")
+    reader = cluster.client("reader", prefer_oqs="oqs0")
+
+    def log(text):
+        print(f"   [{sim.now:9.0f} ms] {text}")
+
+    def scenario():
+        yield from writer.write("profile", "v1")
+        r = yield from reader.read("profile")
+        log(f"reader cached {r.value!r} at its edge (oqs0)")
+
+        cluster.oqs_node("oqs0").crash()
+        log("oqs0 CRASHED (reader's edge cache is gone)")
+
+        w = yield from writer.write("profile", "v2")
+        log(f"write of 'v2' completed after {w.latency:.0f} ms")
+
+        yield sim.sleep(OUTAGE_MS)
+        cluster.oqs_node("oqs0").recover()
+        log("oqs0 RECOVERED; reader retries")
+
+        r = yield from reader.read("profile")
+        log(f"reader now sees {r.value!r} (hit={r.hit})")
+        assert r.value == "v2", "stale read after recovery!"
+
+    try:
+        sim.run_process(scenario(), until=120_000.0)
+    except Exception as exc:  # noqa: BLE001 - demo narration
+        log(f"DID NOT FINISH within 120 s of simulated time: {exc}")
+        log("(the write is still blocked on the unreachable cache)")
+        return
+    delayed = sum(n.delayed_enqueued for n in cluster.iqs_nodes)
+    if delayed:
+        print(f"   delayed invalidations queued and delivered: {delayed}")
+
+
+def main() -> None:
+    print("One edge cache holds a valid copy, then goes dark for "
+          f"{OUTAGE_MS/1000:.0f} s.\nA write arrives during the outage.")
+
+    drill("DQVL, 2 s volume lease", build_dqvl_cluster, lease_ms=2_000.0)
+    drill("DQVL, 8 s volume lease", build_dqvl_cluster, lease_ms=8_000.0)
+    drill("basic dual quorum (no leases)", build_basic_dq_cluster, lease_ms=2_000.0)
+
+    print(
+        "\nReading: with DQVL the write's stall is bounded by the volume\n"
+        "lease length — the operator's knob — while the lease-free basic\n"
+        "protocol blocks until the cache comes back.  In every case the\n"
+        "recovered cache returns the new value, never the stale one."
+    )
+
+
+if __name__ == "__main__":
+    main()

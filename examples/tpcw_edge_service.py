@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""The paper's motivating workload: TPC-W customer profiles at the edge.
+
+Deploys three replication protocols on the paper's nine-edge-server
+topology (8 ms LAN / 86 ms client WAN / 80 ms server WAN) and drives
+each with the TPC-W profile-object workload — 95 % reads / 5 % writes on
+per-customer objects, each customer routed to their closest edge server,
+with a small fraction of travelling customers.
+
+Printed per protocol: mean/median/p95 response time, DQVL's hit rate,
+messages per request, and whether the recorded history satisfies
+regular semantics.  This is the paper's Figure 6(a) story told on a
+realistic multi-object workload.
+
+Run:  python examples/tpcw_edge_service.py
+"""
+
+from repro.consistency import History, check_regular, staleness_report
+from repro.edge import PROTOCOL_DEPLOYERS, EdgeTopology, EdgeTopologyConfig
+from repro.harness import format_table
+from repro.sim import Simulator
+from repro.workload import closed_loop, tpcw_profile_stream
+
+NUM_EDGES = 9
+NUM_CLIENTS = 3
+OPS_PER_CLIENT = 300
+CUSTOMERS_PER_CLIENT = 40
+SEED = 7
+
+
+def run_protocol(name: str):
+    sim = Simulator(seed=SEED)
+    topology = EdgeTopology(
+        sim, EdgeTopologyConfig(num_edges=NUM_EDGES, num_clients=NUM_CLIENTS)
+    )
+    deployment = PROTOCOL_DEPLOYERS[name](topology)
+
+    history = History()
+    processes = []
+    for c in range(NUM_CLIENTS):
+        client = deployment.direct_client(c)
+        stream = tpcw_profile_stream(
+            sim.rng,
+            client_index=c,
+            num_clients=NUM_CLIENTS,
+            customers_per_client=CUSTOMERS_PER_CLIENT,
+            affinity=0.98,
+        )
+        processes.append(
+            sim.spawn(closed_loop(sim, client, stream, history, OPS_PER_CLIENT))
+        )
+    sim.run(until=3_600_000.0)
+    if not all(p.done for p in processes):
+        raise RuntimeError(f"{name}: workload did not finish")
+
+    from repro.harness import summarize
+
+    summary = summarize(history)
+    violations = check_regular(history)
+    staleness = staleness_report(history)
+    messages = deployment.protocol_message_count() / max(len(history), 1)
+    return summary, violations, staleness, messages
+
+
+def main() -> None:
+    rows = []
+    notes = []
+    for name in ("dqvl", "majority", "primary_backup", "rowa", "rowa_async"):
+        summary, violations, staleness, messages = run_protocol(name)
+        rows.append(
+            [
+                name,
+                round(summary.overall.mean, 1),
+                round(summary.overall.median, 1),
+                round(summary.overall.p95, 1),
+                f"{summary.read_hit_rate:.2f}" if summary.read_hit_rate is not None else "-",
+                round(messages, 1),
+                len(violations),
+            ]
+        )
+        if violations:
+            notes.append(
+                f"  {name}: {len(violations)} regular-semantics violations, "
+                f"{staleness.stale_reads} stale reads "
+                f"(max staleness {staleness.max_staleness_ms:.0f} ms)"
+            )
+
+    print(
+        format_table(
+            ["protocol", "mean ms", "median ms", "p95 ms", "hit rate",
+             "msgs/req", "violations"],
+            rows,
+            title=(
+                "TPC-W profile objects, 9 edge servers, 3 clients, "
+                f"{OPS_PER_CLIENT} ops/client (95% reads)"
+            ),
+        )
+    )
+    if notes:
+        print("\nconsistency notes:")
+        print("\n".join(notes))
+    print(
+        "\nReading: DQVL serves nearly all reads from the local edge cache\n"
+        "(like the weakly consistent ROWA-Async) while recording zero\n"
+        "regular-semantics violations (like the slow strong baselines)."
+    )
+
+
+if __name__ == "__main__":
+    main()

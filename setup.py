@@ -1,0 +1,12 @@
+"""Legacy setuptools shim.
+
+The offline environment this repository targets has no `wheel` package,
+so PEP 517 editable installs (which must build a wheel) fail.  Keeping a
+setup.py lets ``pip install -e . --no-build-isolation`` fall back to the
+legacy ``setup.py develop`` path, which works everywhere.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

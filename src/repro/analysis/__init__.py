@@ -1,0 +1,52 @@
+"""Analytical models: availability (Fig 8), overhead (Fig 9), latency."""
+
+from .availability import (
+    default_grid_shape,
+    dqvl_availability,
+    grid_protocol_availability,
+    grid_read_availability,
+    grid_write_availability,
+    majority_availability,
+    majority_protocol_availability,
+    primary_backup_availability,
+    protocol_unavailability,
+    rowa_async_availability,
+    rowa_availability,
+)
+from .overhead import (
+    dqvl_messages_per_request,
+    grid_messages_per_request,
+    majority_messages_per_request,
+    primary_backup_messages_per_request,
+    protocol_messages_per_request,
+    rowa_async_messages_per_request,
+    rowa_messages_per_request,
+)
+from .response_time import DelayParams, expected_latency, expected_mean_latency
+from .sizes import VALUE_BEARING_KINDS, EdgeServiceSizeModel
+
+__all__ = [
+    "majority_availability",
+    "grid_read_availability",
+    "grid_write_availability",
+    "default_grid_shape",
+    "dqvl_availability",
+    "majority_protocol_availability",
+    "grid_protocol_availability",
+    "rowa_availability",
+    "rowa_async_availability",
+    "primary_backup_availability",
+    "protocol_unavailability",
+    "dqvl_messages_per_request",
+    "majority_messages_per_request",
+    "grid_messages_per_request",
+    "rowa_messages_per_request",
+    "rowa_async_messages_per_request",
+    "primary_backup_messages_per_request",
+    "protocol_messages_per_request",
+    "DelayParams",
+    "expected_latency",
+    "expected_mean_latency",
+    "EdgeServiceSizeModel",
+    "VALUE_BEARING_KINDS",
+]

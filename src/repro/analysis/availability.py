@@ -1,0 +1,185 @@
+"""Closed-form availability models (Figure 8).
+
+The paper's model (Section 4.2): nodes fail independently with per-node
+unavailability ``p`` (0.01 in the figures); a request is *rejected* when
+the protocol cannot assemble the quorums regular semantics requires.
+Availability is the accepted fraction under a workload with write ratio
+``w``.  The paper's DQVL formula::
+
+    av_DQVL = (1-w) * min(av_orq, av_irq) + w * min(av_iwq, av_irq)
+
+is implemented verbatim; the baselines use the standard quorum counting
+arguments (documented per function).  Unavailability is ``1 - av`` —
+``1e-i`` is "i nines" of availability.
+
+All formulas are exact sums, not Monte Carlo: Figure 8 spans
+unavailabilities down to ``1e-12``, far below sampling resolution.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+from ..quorum.majority import binomial_tail
+
+__all__ = [
+    "majority_availability",
+    "grid_read_availability",
+    "grid_write_availability",
+    "dqvl_availability",
+    "majority_protocol_availability",
+    "grid_protocol_availability",
+    "rowa_availability",
+    "rowa_async_availability",
+    "primary_backup_availability",
+    "protocol_unavailability",
+    "default_grid_shape",
+]
+
+
+def _check_inputs(w: float, p: float) -> None:
+    if not 0.0 <= w <= 1.0:
+        raise ValueError("write ratio w must be in [0, 1]")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("per-node unavailability p must be in [0, 1]")
+
+
+def majority_availability(n: int, quorum: int, p: float) -> float:
+    """P[at least *quorum* of *n* nodes are alive]."""
+    return binomial_tail(n, quorum, 1.0 - p)
+
+
+def _grid_for(n: int, rows: Optional[int] = None, cols: Optional[int] = None):
+    from ..quorum.grid import GridQuorumSystem, near_square_grid
+
+    names = [f"g{i}" for i in range(n)]
+    if rows is None or cols is None:
+        return near_square_grid(names)
+    return GridQuorumSystem(names, rows=rows, cols=cols)
+
+
+def grid_read_availability(rows: int, cols: int, p: float) -> float:
+    """Grid read quorum (one node per column): ``(1 - p^rows)^cols``."""
+    return _grid_for(rows * cols, rows, cols).read_availability(p)
+
+
+def grid_write_availability(rows: int, cols: int, p: float) -> float:
+    """Grid write quorum (full column + column cover); see
+    :meth:`repro.quorum.grid.GridQuorumSystem.write_availability`."""
+    return _grid_for(rows * cols, rows, cols).write_availability(p)
+
+
+def default_grid_shape(n: int) -> tuple:
+    """The near-square (possibly ragged) rows x cols layout for *n*
+    nodes: rows = isqrt(n), cols = ceil(n / rows)."""
+    rows = max(1, math.isqrt(n))
+    return (rows, math.ceil(n / rows))
+
+
+# ---------------------------------------------------------------------------
+# protocol-level availability under write ratio w
+# ---------------------------------------------------------------------------
+
+
+def dqvl_availability(
+    w: float,
+    n_iqs: int,
+    n_oqs: int,
+    p: float,
+    oqs_read_size: int = 1,
+    iqs_read_size: Optional[int] = None,
+    iqs_write_size: Optional[int] = None,
+) -> float:
+    """The paper's DQVL formula.
+
+    * ``av_orq`` — an OQS read quorum exists: any ``oqs_read_size`` of
+      the ``n_oqs`` nodes (read-one by default: ``1 - p^n``);
+    * ``av_irq`` / ``av_iwq`` — IQS read/write quorums (majorities by
+      default).
+
+    Reads need an OQS read quorum and (pessimistically — the paper notes
+    valid leases can mask short failures) an IQS read quorum for
+    renewals; writes need IQS read + write quorums (the logical-clock
+    read and the write itself).  Invalidation of the OQS never blocks a
+    write indefinitely: expired volume leases substitute for
+    unreachable OQS nodes — hence no ``av`` term for the OQS write
+    quorum, per the paper.
+    """
+    _check_inputs(w, p)
+    majority = n_iqs // 2 + 1
+    ir = majority if iqs_read_size is None else iqs_read_size
+    iw = majority if iqs_write_size is None else iqs_write_size
+    av_orq = binomial_tail(n_oqs, oqs_read_size, 1.0 - p)
+    av_irq = majority_availability(n_iqs, ir, p)
+    av_iwq = majority_availability(n_iqs, iw, p)
+    return (1.0 - w) * min(av_orq, av_irq) + w * min(av_iwq, av_irq)
+
+
+def majority_protocol_availability(w: float, n: int, p: float) -> float:
+    """Majority quorum: both reads and writes need a majority."""
+    _check_inputs(w, p)
+    av = majority_availability(n, n // 2 + 1, p)
+    return (1.0 - w) * av + w * av
+
+
+def grid_protocol_availability(
+    w: float, n: int, p: float, rows: Optional[int] = None, cols: Optional[int] = None
+) -> float:
+    """Grid quorum protocol over a near-square (possibly ragged) grid."""
+    _check_inputs(w, p)
+    grid = _grid_for(n, rows, cols)
+    return (1.0 - w) * grid.read_availability(p) + w * grid.write_availability(p)
+
+
+def rowa_availability(w: float, n: int, p: float) -> float:
+    """ROWA: reads need any one node, writes need all of them."""
+    _check_inputs(w, p)
+    return (1.0 - w) * (1.0 - p**n) + w * (1.0 - p) ** n
+
+
+def rowa_async_availability(w: float, n: int, p: float, allow_stale: bool = True) -> float:
+    """ROWA-Async, in the paper's two variants.
+
+    * ``allow_stale=True`` — any node can serve either operation, stale
+      or not: ``av = 1 - p^n``.  Excellent, but not regular semantics.
+    * ``allow_stale=False`` — the fair comparison (Yu & Vahdat): a read
+      that would return stale data is rejected.  Immediately after a
+      write, only the accepting replica is guaranteed current, so a read
+      needs *that* node alive (``1 - p``); writes still complete at any
+      live node.  This is why the no-stale variant collapses to roughly
+      ``1 - p`` — "several orders of magnitude worse" than quorums.
+    """
+    _check_inputs(w, p)
+    any_node = 1.0 - p**n
+    if allow_stale:
+        return (1.0 - w) * any_node + w * any_node
+    return (1.0 - w) * (1.0 - p) + w * any_node
+
+
+def primary_backup_availability(w: float, n: int, p: float) -> float:
+    """Primary/backup without failover: everything needs the primary."""
+    _check_inputs(w, p)
+    return 1.0 - p
+
+
+def protocol_unavailability(protocol: str, w: float, n: int, p: float, **kwargs) -> float:
+    """Unavailability (``1 - av``) dispatcher used by the Figure 8 bench.
+
+    ``n`` is the number of replicas; DQVL uses it for both IQS and OQS
+    sizes, as in the figure ("the number of replicas ... in both IQS and
+    OQS").
+    """
+    table: Dict[str, float] = {
+        "dqvl": lambda: dqvl_availability(w, n_iqs=n, n_oqs=n, p=p, **kwargs),
+        "majority": lambda: majority_protocol_availability(w, n, p),
+        "grid": lambda: grid_protocol_availability(w, n, p, **kwargs),
+        "rowa": lambda: rowa_availability(w, n, p),
+        "rowa_async": lambda: rowa_async_availability(w, n, p, allow_stale=True),
+        "rowa_async_no_stale": lambda: rowa_async_availability(w, n, p, allow_stale=False),
+        "primary_backup": lambda: primary_backup_availability(w, n, p),
+    }
+    if protocol not in table:
+        raise KeyError(f"unknown protocol {protocol!r}; choose from {sorted(table)}")
+    availability = table[protocol]()
+    return max(0.0, 1.0 - availability)

@@ -1,0 +1,12 @@
+"""Applications built on the replication library.
+
+The paper motivates dual-quorum replication with an edge-service
+e-commerce application (TPC-W); :mod:`repro.apps.bookstore` implements
+that application's data tier, mapping each of the four object classes
+from the authors' taxonomy (Section 1) to an appropriate replication
+strategy — with DQVL covering the class the paper contributes.
+"""
+
+from . import bookstore
+
+__all__ = ["bookstore"]

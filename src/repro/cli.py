@@ -1,0 +1,287 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``figure``       regenerate any paper figure's series
+                 (fig6a fig6b fig7a fig7b fig8a fig8b fig9a fig9b)
+``run``          one response-time experiment with explicit parameters
+``availability`` measured availability under Bernoulli outages
+``protocols``    list the available protocols
+
+Examples::
+
+    python -m repro figure fig7b
+    python -m repro figure fig8a --json
+    python -m repro run --protocol dqvl --write-ratio 0.05 --locality 0.9
+    python -m repro availability --protocol dqvl --p 0.15 --epochs 200
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .edge.deployments import PROTOCOL_DEPLOYERS
+from .harness.availability import AvailabilitySimConfig, run_availability_sim
+from .harness.experiment import ExperimentConfig, run_response_time
+from .harness.figures import FIGURES, generate_figure
+from .harness.reporting import format_series, format_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Dual-quorum replication (Middleware 2005) — experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig = sub.add_parser("figure", help="regenerate a paper figure's series")
+    fig.add_argument("name", choices=sorted(FIGURES))
+    fig.add_argument("--ops", type=int, default=150,
+                     help="operations per client (simulated figures)")
+    fig.add_argument("--seed", type=int, default=None)
+    fig.add_argument("--json", action="store_true", help="emit JSON")
+    fig.add_argument("--chart", action="store_true",
+                     help="render an ASCII chart instead of a table")
+
+    run = sub.add_parser("run", help="one response-time experiment")
+    run.add_argument("--protocol", choices=sorted(PROTOCOL_DEPLOYERS), default="dqvl")
+    run.add_argument("--write-ratio", type=float, default=0.05)
+    run.add_argument("--locality", type=float, default=1.0)
+    run.add_argument("--ops", type=int, default=200)
+    run.add_argument("--clients", type=int, default=3)
+    run.add_argument("--edges", type=int, default=9)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--burst", type=float, default=None,
+                     help="mean write-burst length (default: iid stream)")
+    run.add_argument("--json", action="store_true")
+
+    avail = sub.add_parser("availability", help="measured availability")
+    avail.add_argument(
+        "--protocol",
+        choices=["dqvl", "majority", "rowa", "rowa_async",
+                 "rowa_async_no_stale", "primary_backup"],
+        default="dqvl",
+    )
+    avail.add_argument("--write-ratio", type=float, default=0.25)
+    avail.add_argument("--replicas", type=int, default=5)
+    avail.add_argument("--p", type=float, default=0.15)
+    avail.add_argument("--epochs", type=int, default=200)
+    avail.add_argument("--seed", type=int, default=0)
+    avail.add_argument("--json", action="store_true")
+
+    sweep = sub.add_parser(
+        "sweep", help="cartesian sweep of write ratio x locality"
+    )
+    sweep.add_argument("--protocol", choices=sorted(PROTOCOL_DEPLOYERS), default="dqvl")
+    sweep.add_argument("--write-ratios", type=float, nargs="+",
+                       default=[0.0, 0.05, 0.25, 0.5])
+    sweep.add_argument("--localities", type=float, nargs="+", default=[1.0])
+    sweep.add_argument("--ops", type=int, default=120)
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--metric", choices=["overall", "read", "write", "msgs"],
+                       default="overall")
+    sweep.add_argument("--json", action="store_true")
+
+    report = sub.add_parser(
+        "report", help="regenerate every figure into one markdown report"
+    )
+    report.add_argument("--out", default="results/REPORT.md")
+    report.add_argument("--ops", type=int, default=150)
+    report.add_argument("--no-charts", action="store_true")
+    report.add_argument("--figures", nargs="*", default=None,
+                        help="subset of figures (default: all)")
+    report.add_argument("--measured-availability", action="store_true",
+                        help="include the simulated availability cross-check")
+
+    sub.add_parser("protocols", help="list available protocols")
+    return parser
+
+
+def _cmd_figure(args) -> int:
+    kwargs = {}
+    if args.name in ("fig6a", "fig6b", "fig7a", "fig7b"):
+        kwargs["ops"] = args.ops
+        if args.seed is not None:
+            kwargs["seed"] = args.seed
+    x_label, x_values, series = generate_figure(args.name, **kwargs)
+    title = f"{args.name} (see EXPERIMENTS.md for the paper's claims)"
+    if args.json:
+        print(json.dumps(
+            {"figure": args.name, "x_label": x_label,
+             "x": list(x_values), "series": series},
+            indent=2,
+        ))
+    elif getattr(args, "chart", False):
+        from .harness.charts import ascii_chart
+
+        numeric_x = all(isinstance(x, (int, float)) for x in x_values)
+        xs = list(x_values) if numeric_x else list(range(len(x_values)))
+        log_y = args.name in ("fig8a", "fig8b")
+        y_label = "unavail" if log_y else ("msgs" if args.name.startswith("fig9") else "ms")
+        print(ascii_chart(
+            xs, series, log_y=log_y, x_label=x_label, y_label=y_label, title=title,
+        ))
+        if not numeric_x:
+            mapping = ", ".join(f"{i}={x}" for i, x in enumerate(x_values))
+            print(f"   x axis: {mapping}")
+    else:
+        print(format_series(
+            x_label, x_values, sorted(series.items()), title=title,
+        ))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    config = ExperimentConfig(
+        protocol=args.protocol,
+        write_ratio=args.write_ratio,
+        locality=args.locality,
+        ops_per_client=args.ops,
+        num_clients=args.clients,
+        num_edges=args.edges,
+        seed=args.seed,
+        mean_write_burst=args.burst,
+    )
+    result = run_response_time(config)
+    s = result.summary
+    payload = {
+        "protocol": args.protocol,
+        "write_ratio": args.write_ratio,
+        "locality": args.locality,
+        "overall_ms": s.overall.mean,
+        "read_ms": s.reads.mean,
+        "write_ms": s.writes.mean,
+        "p95_ms": s.overall.p95,
+        "read_hit_rate": s.read_hit_rate,
+        "messages_per_request": result.messages_per_request,
+        "requests": result.total_requests,
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(format_table(
+            ["metric", "value"],
+            [[k, v if v is not None else "-"] for k, v in payload.items()],
+            title=f"{args.protocol}: response-time experiment",
+        ))
+    return 0
+
+
+def _cmd_availability(args) -> int:
+    config = AvailabilitySimConfig(
+        protocol=args.protocol,
+        write_ratio=args.write_ratio,
+        num_replicas=args.replicas,
+        p=args.p,
+        epochs=args.epochs,
+        seed=args.seed,
+        max_attempts=4,
+    )
+    result = run_availability_sim(config)
+    from .analysis.availability import protocol_unavailability
+
+    analytic = protocol_unavailability(
+        args.protocol, args.write_ratio, args.replicas, args.p
+    )
+    payload = {
+        "protocol": args.protocol,
+        "measured_unavailability": result.unavailability,
+        "analytic_unavailability": analytic,
+        "requests": result.total_requests,
+        "rejected": result.rejected,
+        "stale_rejected": result.stale_rejected,
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(format_table(
+            ["metric", "value"],
+            [[k, v] for k, v in payload.items()],
+            title=f"{args.protocol}: measured availability",
+        ))
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    def metric_of(result):
+        if args.metric == "overall":
+            return result.summary.overall.mean
+        if args.metric == "read":
+            return result.summary.reads.mean
+        if args.metric == "write":
+            return result.summary.writes.mean
+        return result.messages_per_request
+
+    grid = {}
+    for locality in args.localities:
+        row = []
+        for w in args.write_ratios:
+            result = run_response_time(
+                ExperimentConfig(
+                    protocol=args.protocol,
+                    write_ratio=w,
+                    locality=locality,
+                    ops_per_client=args.ops,
+                    seed=args.seed,
+                )
+            )
+            row.append(round(metric_of(result), 2))
+        grid[locality] = row
+    if args.json:
+        print(json.dumps(
+            {"protocol": args.protocol, "metric": args.metric,
+             "write_ratios": args.write_ratios,
+             "localities": args.localities,
+             "grid": {str(k): v for k, v in grid.items()}},
+            indent=2,
+        ))
+    else:
+        rows = [[loc] + values for loc, values in grid.items()]
+        print(format_table(
+            ["locality \\ w"] + [str(w) for w in args.write_ratios],
+            rows,
+            title=f"{args.protocol}: {args.metric} over write ratio x locality",
+        ))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .harness.report import generate_report
+
+    path = generate_report(
+        out_path=args.out,
+        ops=args.ops,
+        charts=not args.no_charts,
+        figures=args.figures,
+        measured_availability=args.measured_availability,
+    )
+    print(f"report written to {path}")
+    return 0
+
+
+def _cmd_protocols(_args) -> int:
+    print("response-time protocols:", ", ".join(sorted(PROTOCOL_DEPLOYERS)))
+    print("figures:", ", ".join(sorted(FIGURES)))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "figure": _cmd_figure,
+        "run": _cmd_run,
+        "availability": _cmd_availability,
+        "sweep": _cmd_sweep,
+        "report": _cmd_report,
+        "protocols": _cmd_protocols,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

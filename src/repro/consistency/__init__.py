@@ -1,0 +1,35 @@
+"""Consistency validation: histories, semantics checkers, staleness.
+
+Used by integration tests to verify that DQVL (and the strong
+baselines) provide regular semantics, and to demonstrate — and
+quantify — ROWA-Async's violations.
+"""
+
+from .history import History, Op
+from .sessions import (
+    SessionViolation,
+    check_monotonic_reads,
+    check_read_your_writes,
+    check_session_guarantees,
+)
+from .regular import (
+    StalenessReport,
+    Violation,
+    check_atomic,
+    check_regular,
+    staleness_report,
+)
+
+__all__ = [
+    "History",
+    "Op",
+    "Violation",
+    "check_regular",
+    "check_atomic",
+    "staleness_report",
+    "StalenessReport",
+    "SessionViolation",
+    "check_read_your_writes",
+    "check_monotonic_reads",
+    "check_session_guarantees",
+]

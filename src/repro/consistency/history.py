@@ -1,0 +1,130 @@
+"""Operation histories.
+
+A :class:`History` records every client operation as an interval
+(invocation time → response time) plus its value and logical clock.
+The checkers in :mod:`repro.consistency.regular` operate on these
+records, and the harness's metrics are derived from them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+from ..types import ZERO_LC, LogicalClock, ReadResult, WriteResult
+
+__all__ = ["Op", "History"]
+
+READ = "read"
+WRITE = "write"
+
+
+@dataclass
+class Op:
+    """One completed (or failed) client operation."""
+
+    kind: str  # "read" | "write"
+    key: str
+    value: object
+    lc: LogicalClock
+    start: float
+    end: float
+    client: str = ""
+    ok: bool = True
+    #: protocol-specific detail (e.g. DQVL hit flag), for metrics only
+    hit: Optional[bool] = None
+    #: replica that served the operation, when meaningful
+    server: Optional[str] = None
+
+    @property
+    def latency(self) -> float:
+        return self.end - self.start
+
+    def overlaps(self, other: "Op") -> bool:
+        """Do the two operation intervals overlap in real time?"""
+        return self.start < other.end and other.start < self.end
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "" if self.ok else " FAILED"
+        return (
+            f"<{self.kind} {self.key}={self.value!r}@{self.lc} "
+            f"[{self.start:.1f},{self.end:.1f}] by {self.client}{status}>"
+        )
+
+
+class History:
+    """An append-only log of operations across all clients."""
+
+    def __init__(self) -> None:
+        self.ops: List[Op] = []
+
+    # -- recording ----------------------------------------------------------
+
+    def record_read(self, result: ReadResult, ok: bool = True) -> Op:
+        op = Op(
+            kind=READ,
+            key=result.key,
+            value=result.value,
+            lc=result.lc,
+            start=result.start_time,
+            end=result.end_time,
+            client=result.client,
+            ok=ok,
+            hit=result.hit,
+            server=result.server,
+        )
+        self.ops.append(op)
+        return op
+
+    def record_write(self, result: WriteResult, ok: bool = True) -> Op:
+        op = Op(
+            kind=WRITE,
+            key=result.key,
+            value=result.value,
+            lc=result.lc,
+            start=result.start_time,
+            end=result.end_time,
+            client=result.client,
+            ok=ok,
+        )
+        self.ops.append(op)
+        return op
+
+    def record_failure(self, kind: str, key: str, start: float, end: float, client: str) -> Op:
+        """Record a rejected/timed-out operation (counted as unavailable)."""
+        op = Op(kind=kind, key=key, value=None, lc=ZERO_LC,
+                start=start, end=end, client=client, ok=False)
+        self.ops.append(op)
+        return op
+
+    # -- queries -------------------------------------------------------------
+
+    def keys(self) -> List[str]:
+        return sorted({op.key for op in self.ops})
+
+    def of_key(self, key: str) -> List[Op]:
+        return [op for op in self.ops if op.key == key]
+
+    def reads(self, key: Optional[str] = None) -> List[Op]:
+        return [
+            op for op in self.ops
+            if op.kind == READ and (key is None or op.key == key)
+        ]
+
+    def writes(self, key: Optional[str] = None) -> List[Op]:
+        return [
+            op for op in self.ops
+            if op.kind == WRITE and (key is None or op.key == key)
+        ]
+
+    def successful(self) -> Iterable[Op]:
+        return (op for op in self.ops if op.ok)
+
+    def failures(self) -> List[Op]:
+        return [op for op in self.ops if not op.ok]
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __iter__(self):
+        return iter(self.ops)

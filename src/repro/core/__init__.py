@@ -1,0 +1,48 @@
+"""The paper's primary contribution: dual-quorum replication.
+
+* :mod:`~repro.core.basic_dq` — the lease-free protocol of Section 3.1;
+* :mod:`~repro.core.dqvl` — dual quorum with volume leases (Section 3.2);
+* :mod:`~repro.core.leases` — volume-lease/epoch/delayed-invalidation
+  state machines;
+* :mod:`~repro.core.volumes` — object → volume assignment;
+* :mod:`~repro.core.cluster` — one-call deployment builders.
+"""
+
+from .atomic import DqvlAtomicClient
+from .basic_dq import BasicIqsNode, BasicOqsNode, DualQuorumClient
+from .cluster import DqvlCluster, build_basic_dq_cluster, build_dqvl_cluster
+from .config import DqvlConfig
+from .dqvl import DqvlClient, DqvlIqsNode, DqvlOqsNode
+from .leases import (
+    AdaptiveObjectLeasePolicy,
+    DelayedInval,
+    IqsLeaseTable,
+    ObjectLeaseTable,
+    OqsLeaseView,
+    VolumeLeaseGrant,
+)
+from .volumes import ExplicitVolumeMap, HashVolumeMap, SingleVolumeMap, VolumeMap
+
+__all__ = [
+    "DqvlConfig",
+    "DqvlAtomicClient",
+    "DqvlIqsNode",
+    "DqvlOqsNode",
+    "DqvlClient",
+    "BasicIqsNode",
+    "BasicOqsNode",
+    "DualQuorumClient",
+    "DqvlCluster",
+    "build_dqvl_cluster",
+    "build_basic_dq_cluster",
+    "IqsLeaseTable",
+    "ObjectLeaseTable",
+    "AdaptiveObjectLeasePolicy",
+    "OqsLeaseView",
+    "DelayedInval",
+    "VolumeLeaseGrant",
+    "VolumeMap",
+    "HashVolumeMap",
+    "ExplicitVolumeMap",
+    "SingleVolumeMap",
+]

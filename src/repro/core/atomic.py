@@ -1,0 +1,77 @@
+"""Atomic (linearizable) reads for DQVL — the paper's future work.
+
+Section 6: "We are also interested in modifying DQVL to provide
+different consistency semantics (e.g. atomic semantics [16]) and
+comparing the cost difference."  This module implements the standard
+upgrade and makes the cost measurable.
+
+Why regular DQVL is not atomic
+------------------------------
+Regularity allows *new-old inversions*: while a write is in flight, one
+read may return the new value and a later read the old one (two OQS
+read quorums need not intersect, so the second reader can be oblivious
+to what the first one saw).
+
+The fix (ABD-style write-back)
+------------------------------
+:class:`DqvlAtomicClient` completes every read with a **write-back
+phase**: the value/clock the read selected is re-issued as a write to an
+IQS write quorum.  Re-issuing is safe — the write path is idempotent on
+(value, clock) — and after it completes, an OQS write quorum can no
+longer serve anything older, so every subsequent read returns at least
+that clock.  First-reader-wins then forces a single serialization point
+per write: no inversions.
+
+The cost — the answer to the paper's question — is that every read pays
+the two-round quorum write path on top of its (possibly local) read:
+the A6 ablation benchmark quantifies it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..quorum.qrpc import WRITE, qrpc
+from ..types import ZERO_LC, ReadResult
+from .dqvl import DqvlClient
+
+__all__ = ["DqvlAtomicClient"]
+
+
+class DqvlAtomicClient(DqvlClient):
+    """A DQVL service client whose reads are atomic (linearizable).
+
+    Reads perform the regular DQVL read, then write back the selected
+    (value, clock) to an IQS write quorum before returning.  Writes are
+    unchanged (the regular write path already serializes writes by
+    logical clock).
+
+    ``write_back`` controls the policy:
+
+    * ``"always"`` (default) — atomic semantics;
+    * ``"never"`` — degenerates to the regular client (useful for
+      like-for-like cost comparisons in one deployment).
+    """
+
+    def __init__(self, *args, write_back: str = "always", **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if write_back not in ("always", "never"):
+            raise ValueError("write_back must be 'always' or 'never'")
+        self.write_back = write_back
+        self.write_backs_issued = 0
+
+    def read(self, obj: str):
+        result: ReadResult = yield from super().read(obj)
+        if self.write_back == "always" and result.lc > ZERO_LC:
+            self.write_backs_issued += 1
+            yield from qrpc(
+                self,
+                self.iqs,
+                WRITE,
+                "dq_write",
+                {"obj": obj, "value": result.value, "lc": result.lc},
+                **self._qrpc_config(self.prefer_iqs),
+            )
+        # the read's response time includes the write-back
+        result.end_time = self.sim.now
+        return result

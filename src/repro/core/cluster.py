@@ -1,0 +1,212 @@
+"""Cluster builders: wire up a dual-quorum deployment in one call.
+
+The builders create the IQS servers, the OQS servers, and a client
+factory, all attached to a caller-supplied simulator and network (so the
+caller controls topology, delays, and fault injection).
+
+The default configuration matches the paper's recommendation: the OQS
+spans the given read-side nodes with **read quorum size 1** (reads are
+local) and write quorum = all OQS nodes; the IQS is a **majority quorum
+system** over the write-side nodes.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..quorum.majority import MajorityQuorumSystem
+from ..quorum.rowa import RowaQuorumSystem
+from ..quorum.system import QuorumSystem
+from ..sim.clock import DriftingClock
+from ..sim.kernel import Simulator
+from ..sim.network import Network
+from ..sim.trace import NULL_TRACER
+from .basic_dq import BasicIqsNode, BasicOqsNode
+from .config import DqvlConfig
+from .dqvl import DqvlClient, DqvlIqsNode, DqvlOqsNode
+
+__all__ = ["DqvlCluster", "build_dqvl_cluster", "build_basic_dq_cluster"]
+
+
+@dataclass
+class DqvlCluster:
+    """Handles to a wired-up dual-quorum deployment."""
+
+    sim: Simulator
+    network: Network
+    config: DqvlConfig
+    iqs_system: QuorumSystem
+    oqs_system: QuorumSystem
+    iqs_nodes: List
+    oqs_nodes: List
+    _client_factory: Callable[[str], DqvlClient] = field(repr=False, default=None)
+
+    def client(self, node_id: str, prefer_oqs=None, prefer_iqs=None) -> DqvlClient:
+        """Create a service client.
+
+        ``prefer_oqs``/``prefer_iqs`` pin the replica included in every
+        sampled quorum — typically the client's co-located OQS node.
+        """
+        return self._client_factory(node_id, prefer_oqs, prefer_iqs)
+
+    def iqs_node(self, node_id: str):
+        return next(n for n in self.iqs_nodes if n.node_id == node_id)
+
+    def oqs_node(self, node_id: str):
+        return next(n for n in self.oqs_nodes if n.node_id == node_id)
+
+    # -- aggregate statistics (used by the harness) -------------------------
+
+    @property
+    def total_read_hits(self) -> int:
+        return sum(n.read_hits for n in self.oqs_nodes)
+
+    @property
+    def total_read_misses(self) -> int:
+        return sum(n.read_misses for n in self.oqs_nodes)
+
+    @property
+    def total_writes_suppressed(self) -> int:
+        return sum(n.writes_suppressed for n in self.iqs_nodes)
+
+    @property
+    def total_writes_through(self) -> int:
+        return sum(n.writes_through for n in self.iqs_nodes)
+
+
+def _check_owq_safety(oqs_system: QuorumSystem) -> None:
+    """Warn when OQS write quorums are proper subsets of the node set.
+
+    Each IQS server independently invalidates one OQS write quorum; when
+    those quorums can differ between servers, regular semantics is not
+    guaranteed (DESIGN.md §7).  The full-set write quorum — implied by
+    the paper's recommended read-one OQS — is always safe.
+    """
+    if oqs_system.write_quorum_size < oqs_system.size:
+        warnings.warn(
+            "OQS write quorums smaller than the full OQS node set allow "
+            "different IQS servers to invalidate different quorums, which "
+            "can violate regular semantics; see DESIGN.md. Use write "
+            "quorum = all OQS nodes (e.g. RowaQuorumSystem) unless you "
+            "know what you are doing.",
+            stacklevel=3,
+        )
+
+
+def build_dqvl_cluster(
+    sim: Simulator,
+    network: Network,
+    iqs_ids: Sequence[str],
+    oqs_ids: Sequence[str],
+    config: Optional[DqvlConfig] = None,
+    iqs_system: Optional[QuorumSystem] = None,
+    oqs_system: Optional[QuorumSystem] = None,
+    clocks: Optional[Dict[str, DriftingClock]] = None,
+    tracer=NULL_TRACER,
+) -> DqvlCluster:
+    """Build a DQVL deployment.
+
+    Parameters
+    ----------
+    iqs_ids / oqs_ids:
+        Node ids for the two quorum systems.  They may overlap logically
+        (an edge server hosting both roles) but each id is one simulated
+        process; co-location is modelled with zero-delay network links.
+    iqs_system / oqs_system:
+        Override the quorum constructions (defaults: majority IQS,
+        read-one/write-all OQS).
+    clocks:
+        Optional per-node drifting clocks (keyed by node id).
+    """
+    config = config or DqvlConfig()
+    iqs_system = iqs_system or MajorityQuorumSystem(list(iqs_ids))
+    oqs_system = oqs_system or RowaQuorumSystem(list(oqs_ids))
+    _check_owq_safety(oqs_system)
+    clocks = clocks or {}
+
+    iqs_nodes = [
+        DqvlIqsNode(
+            sim, network, node_id, oqs_system, config,
+            clock=clocks.get(node_id), tracer=tracer,
+        )
+        for node_id in iqs_ids
+    ]
+    oqs_nodes = [
+        DqvlOqsNode(
+            sim, network, node_id, iqs_system, config,
+            clock=clocks.get(node_id), tracer=tracer,
+        )
+        for node_id in oqs_ids
+    ]
+
+    def client_factory(node_id: str, prefer_oqs=None, prefer_iqs=None) -> DqvlClient:
+        return DqvlClient(
+            sim, network, node_id, iqs_system, oqs_system, config,
+            clock=clocks.get(node_id), tracer=tracer,
+            prefer_oqs=prefer_oqs, prefer_iqs=prefer_iqs,
+        )
+
+    return DqvlCluster(
+        sim=sim,
+        network=network,
+        config=config,
+        iqs_system=iqs_system,
+        oqs_system=oqs_system,
+        iqs_nodes=iqs_nodes,
+        oqs_nodes=oqs_nodes,
+        _client_factory=client_factory,
+    )
+
+
+def build_basic_dq_cluster(
+    sim: Simulator,
+    network: Network,
+    iqs_ids: Sequence[str],
+    oqs_ids: Sequence[str],
+    config: Optional[DqvlConfig] = None,
+    iqs_system: Optional[QuorumSystem] = None,
+    oqs_system: Optional[QuorumSystem] = None,
+    clocks: Optional[Dict[str, DriftingClock]] = None,
+    tracer=NULL_TRACER,
+) -> DqvlCluster:
+    """Build a basic (lease-free) dual-quorum deployment (Section 3.1)."""
+    config = config or DqvlConfig()
+    iqs_system = iqs_system or MajorityQuorumSystem(list(iqs_ids))
+    oqs_system = oqs_system or RowaQuorumSystem(list(oqs_ids))
+    _check_owq_safety(oqs_system)
+    clocks = clocks or {}
+
+    iqs_nodes = [
+        BasicIqsNode(
+            sim, network, node_id, oqs_system, config,
+            clock=clocks.get(node_id), tracer=tracer,
+        )
+        for node_id in iqs_ids
+    ]
+    oqs_nodes = [
+        BasicOqsNode(
+            sim, network, node_id, iqs_system, config,
+            clock=clocks.get(node_id), tracer=tracer,
+        )
+        for node_id in oqs_ids
+    ]
+
+    def client_factory(node_id: str, prefer_oqs=None, prefer_iqs=None) -> DqvlClient:
+        return DqvlClient(
+            sim, network, node_id, iqs_system, oqs_system, config,
+            clock=clocks.get(node_id), tracer=tracer,
+            prefer_oqs=prefer_oqs, prefer_iqs=prefer_iqs,
+        )
+
+    return DqvlCluster(
+        sim=sim,
+        network=network,
+        config=config,
+        iqs_system=iqs_system,
+        oqs_system=oqs_system,
+        iqs_nodes=iqs_nodes,
+        oqs_nodes=oqs_nodes,
+        _client_factory=client_factory,
+    )

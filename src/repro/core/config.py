@@ -1,0 +1,98 @@
+"""Configuration for the dual-quorum protocols."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .volumes import SingleVolumeMap, VolumeMap
+
+__all__ = ["DqvlConfig"]
+
+
+@dataclass
+class DqvlConfig:
+    """Tunables for a DQVL deployment.
+
+    Attributes
+    ----------
+    lease_length_ms:
+        Nominal volume lease length ``L``.  The paper's central trade-off:
+        short leases bound how long a write can be blocked by an
+        unreachable OQS node (the write may simply wait out the lease);
+        long leases reduce renewal traffic on the read path.
+    max_drift:
+        Clock drift bound ``maxDrift`` assumed by the lease arithmetic.
+    max_delayed:
+        Per-(volume, node) bound on the delayed-invalidation queue; beyond
+        it the epoch advances and the queue is dropped (Section 3.2).
+    volume_map:
+        Object → volume assignment shared by every node; defaults to a
+        single volume (maximal renewal amortisation).
+    qrpc_initial_timeout_ms / qrpc_backoff / qrpc_max_timeout_ms:
+        Retransmission schedule for all QRPC interactions, per the
+        paper's prototype (fresh random quorum per attempt, exponential
+        interval).
+    client_max_attempts:
+        Attempt budget for client-facing QRPCs; ``None`` blocks forever
+        (the asynchronous model).  Availability experiments set a finite
+        budget so unreachable quorums surface as rejections.
+    inval_initial_timeout_ms:
+        First retransmission interval for IQS→OQS invalidations.
+    proactive_renewal:
+        When True, OQS nodes renew volume leases shortly before expiry
+        for volumes with recent read interest, keeping renewals off the
+        read critical path (the paper's amortisation argument).
+    renewal_margin_ms:
+        How long before expiry a proactive renewal is issued.
+    interest_window_ms:
+        How long after the last read of a volume proactive renewal keeps
+        going; beyond it the volume lease is allowed to lapse.
+    """
+
+    lease_length_ms: float = 10_000.0
+    max_drift: float = 0.0
+    max_delayed: int = 1000
+    #: finite object-lease length; ``None`` = infinite callbacks (the
+    #: paper's simplifying assumption, footnote 4)
+    object_lease_ms: Optional[float] = None
+    #: adaptive object-lease lengths (Duvvuri et al., the paper's [9]):
+    #: read-hot objects earn longer leases, write-hot ones shorter
+    adaptive_object_leases: bool = False
+    object_lease_min_ms: float = 2_000.0
+    object_lease_max_ms: float = 120_000.0
+    volume_map: VolumeMap = field(default_factory=SingleVolumeMap)
+    qrpc_initial_timeout_ms: float = 400.0
+    qrpc_backoff: float = 2.0
+    qrpc_max_timeout_ms: float = 6400.0
+    client_max_attempts: Optional[int] = None
+    inval_initial_timeout_ms: float = 400.0
+    proactive_renewal: bool = False
+    renewal_margin_ms: float = 1_000.0
+    interest_window_ms: float = 60_000.0
+    #: when True, an OQS node that recovers from a crash comes back with
+    #: an empty cache and no lease state (a process restart without
+    #: stable storage).  Safe either way: an amnesiac cache simply
+    #: misses and revalidates; the default (False) models stable storage.
+    volatile_oqs_recovery: bool = False
+
+    def __post_init__(self) -> None:
+        if self.lease_length_ms <= 0:
+            raise ValueError("lease_length_ms must be positive")
+        if not 0.0 <= self.max_drift < 1.0:
+            raise ValueError("max_drift must be in [0, 1)")
+        if self.renewal_margin_ms >= self.lease_length_ms and self.proactive_renewal:
+            raise ValueError("renewal_margin_ms must be below lease_length_ms")
+        if self.object_lease_ms is not None and self.object_lease_ms <= 0:
+            raise ValueError("object_lease_ms must be positive (or None)")
+        if self.adaptive_object_leases and self.object_lease_ms is not None:
+            raise ValueError(
+                "choose either a fixed object_lease_ms or adaptive leases"
+            )
+        if not 0 < self.object_lease_min_ms <= self.object_lease_max_ms:
+            raise ValueError("need 0 < object_lease_min_ms <= object_lease_max_ms")
+
+    @property
+    def finite_object_leases(self) -> bool:
+        """True when object leases expire (fixed or adaptive length)."""
+        return self.object_lease_ms is not None or self.adaptive_object_leases

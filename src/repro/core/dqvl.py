@@ -1,0 +1,834 @@
+"""DQVL — dual-quorum replication with volume leases (Sections 3.2-3.3).
+
+Three roles, each a :class:`~repro.sim.node.Node`:
+
+* :class:`DqvlIqsNode` — an Input Quorum System server.  Stores object
+  values, orders writes by logical clock, and keeps OQS caches coherent
+  by invalidation, delayed invalidation (behind expired volume leases),
+  or simply waiting out a volume lease.
+* :class:`DqvlOqsNode` — an Output Quorum System server.  Caches objects
+  under (volume lease, object lease) pairs and serves reads locally when
+  both are valid from a full IQS read quorum (the paper's Condition C);
+  otherwise it runs the QRPC variation that renews volumes/objects until
+  C holds.
+* :class:`DqvlClient` — a service client (the data-access library linked
+  into a front-end edge server).  Reads via QRPC on the OQS; writes via
+  the two-round quorum write on the IQS (logical-clock read, then write).
+
+Fidelity notes
+--------------
+The node logic follows the pseudo-code of the paper's Figures 4 and 5,
+with the deviations below (each discussed in DESIGN.md / EXPERIMENTS.md):
+
+* **Granter-side drift correction.**  IQS records lease expiry as
+  ``now + L * (1 + maxDrift)`` (the paper only states the holder-side
+  ``t0 + L * (1 - maxDrift)`` rule, which is insufficient on its own
+  when both clocks may drift).
+* **"Known invalid" uses ≥.**  An IQS server counts OQS node j invalid
+  for object o when ``lastAckLC >= lastReadLC`` (the paper's prose uses
+  a strict inequality, under which a freshly booted system would
+  invalidate caches that provably hold nothing).
+* **Max-clock hit rule.**  An OQS node additionally refuses to serve a
+  cached value when it has seen *any* invalidation with a logical clock
+  above its best valid one.  This is the validity rule of the basic
+  protocol (Section 3.1) carried over; it is strictly conservative
+  (turns some hits into misses; never the reverse).
+* **OQS write quorums.**  Each IQS server independently invalidates
+  *one* OQS write quorum.  When the OQS write quorum is the full OQS
+  node set (the paper's recommended read-one configuration, used in all
+  evaluation figures) this is airtight; for proper-subset OQS write
+  quorums, different IQS servers may invalidate *different* write
+  quorums and regularity can be violated — the cluster builder warns in
+  that case.  See DESIGN.md §7 for the analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..quorum.qrpc import READ, WRITE, QuorumCall, qrpc
+from ..quorum.system import QuorumSystem
+from ..sim.clock import DriftingClock
+from ..sim.kernel import Simulator, any_of
+from ..sim.messages import Message
+from ..sim.network import Network
+from ..sim.node import Node
+from ..sim.trace import NULL_TRACER
+from ..types import ZERO_LC, LogicalClock, ReadResult, WriteResult
+from .config import DqvlConfig
+from .leases import (
+    AdaptiveObjectLeasePolicy,
+    IqsLeaseTable,
+    ObjectLeaseTable,
+    OqsLeaseView,
+    VolumeLeaseGrant,
+)
+
+__all__ = ["DqvlIqsNode", "DqvlOqsNode", "DqvlClient"]
+
+
+def _encode_delayed(grant: VolumeLeaseGrant) -> List[Tuple[str, LogicalClock]]:
+    return [(d.obj, d.lc) for d in grant.delayed]
+
+
+class DqvlIqsNode(Node):
+    """An IQS server: the write-side home of every object (Figure 4)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        node_id: str,
+        oqs_system: QuorumSystem,
+        config: DqvlConfig,
+        clock: Optional[DriftingClock] = None,
+        tracer=NULL_TRACER,
+    ) -> None:
+        super().__init__(sim, network, node_id, clock=clock)
+        self.oqs = oqs_system
+        self.config = config
+        self.tracer = tracer
+        self.logical_clock = ZERO_LC
+        self.leases = IqsLeaseTable(
+            lease_length_ms=config.lease_length_ms,
+            max_drift=config.max_drift,
+            max_delayed=config.max_delayed,
+        )
+        # finite object leases (footnote 4) — None means infinite callbacks
+        self.object_leases: Optional[ObjectLeaseTable] = (
+            ObjectLeaseTable(max_drift=config.max_drift)
+            if config.finite_object_leases
+            else None
+        )
+        self.lease_policy: Optional[AdaptiveObjectLeasePolicy] = (
+            AdaptiveObjectLeasePolicy(
+                config.object_lease_min_ms, config.object_lease_max_ms
+            )
+            if config.adaptive_object_leases
+            else None
+        )
+        self._values: Dict[str, Any] = {}
+        self._last_write_lc: Dict[str, LogicalClock] = {}
+        # lastReadLC, tracked per (object, OQS node): the value of
+        # lastWriteLC at the time this node last renewed the object.
+        # The paper keeps a single per-object scalar; per-node tracking
+        # (the renewal handler knows the requester) is strictly more
+        # precise — it avoids invalidating nodes that provably cached
+        # nothing, and it disambiguates the ack-vs-renewal equality case.
+        self._last_renew_lc: Dict[Tuple[str, str], Optional[LogicalClock]] = {}
+        self._last_ack_lc: Dict[Tuple[str, str], LogicalClock] = {}
+        # statistics
+        self.writes_applied = 0
+        self.writes_suppressed = 0
+        self.writes_through = 0
+        self.invals_sent = 0
+        self.delayed_enqueued = 0
+        self.renewals_served = 0
+
+    # -- per-object state accessors -----------------------------------------
+
+    def last_write_lc(self, obj: str) -> LogicalClock:
+        return self._last_write_lc.get(obj, ZERO_LC)
+
+    def last_renew_lc(self, obj: str, oqs_node: str) -> Optional[LogicalClock]:
+        """lastWriteLC at the time of *oqs_node*'s last renewal of *obj*;
+        ``None`` when the node never renewed it (nothing cached)."""
+        return self._last_renew_lc.get((obj, oqs_node))
+
+    def last_read_lc(self, obj: str) -> LogicalClock:
+        """The paper's global ``lastReadLC``: max over the per-node values."""
+        values = [
+            lc for (o, _j), lc in self._last_renew_lc.items()
+            if o == obj and lc is not None
+        ]
+        return max(values, default=ZERO_LC)
+
+    def last_ack_lc(self, obj: str, oqs_node: str) -> LogicalClock:
+        return self._last_ack_lc.get((obj, oqs_node), ZERO_LC)
+
+    def value_of(self, obj: str) -> Any:
+        return self._values.get(obj)
+
+    def volume_of(self, obj: str) -> str:
+        return self.config.volume_map.volume_of(obj)
+
+    # -- client-facing handlers -------------------------------------------------
+
+    def on_lc_read(self, msg: Message) -> None:
+        """processLCReadRequest: return the node's global logical clock."""
+        self.reply(msg, payload={"lc": self.logical_clock})
+
+    def on_dq_write(self, msg: Message):
+        """processWriteRequest: apply the write, then ensure an OQS write
+        quorum cannot read the old version, then acknowledge.
+
+        The invalidation step runs for *every* copy of the request, not
+        just the one that applied the value: a retransmitted duplicate
+        must not be acknowledged while the original's invalidation is
+        still in flight, or the client would count the ack toward its
+        write quorum and complete the write while caches can still serve
+        the old version.  (The paper's pseudo-code acknowledges stale
+        clocks unconditionally; that is unsound under QRPC
+        retransmission — see DESIGN.md.)
+        """
+        obj: str = msg["obj"]
+        lc: LogicalClock = msg["lc"]
+        fresh = lc > self.last_write_lc(obj)
+        if fresh:
+            self._values[obj] = msg["value"]
+            self._last_write_lc[obj] = lc
+            self.logical_clock = self.logical_clock.merge(lc)
+            self.writes_applied += 1
+            if self.lease_policy is not None:
+                self.lease_policy.on_write(obj)
+        yield from self._ensure_owq_invalid(obj, lc, record_stats=fresh)
+        self.reply(msg, payload={"obj": obj, "lc": lc})
+
+    # -- OQS-facing handlers -----------------------------------------------------
+
+    def on_vl_renew(self, msg: Message) -> None:
+        """processVLRenewal: grant a fresh volume lease, shipping any
+        delayed invalidations (kept queued until acknowledged)."""
+        volume: str = msg["vol"]
+        grant = self.leases.grant(volume, msg.src, self.clock.now(), msg["t0"])
+        self.reply(
+            msg,
+            payload={
+                "vol": volume,
+                "L": grant.length_ms,
+                "epoch": grant.epoch,
+                "delayed": _encode_delayed(grant),
+                "t0": grant.requestor_time,
+            },
+        )
+
+    def on_vl_ack(self, msg: Message) -> None:
+        """processVLRenewalAck: clear delayed invalidations the holder has
+        now applied; their application also counts as invalidation acks."""
+        volume: str = msg["vol"]
+        ack_lc: LogicalClock = msg["lc"]
+        covered = self.leases.pending_delayed(volume, msg.src)
+        self.leases.ack_delayed(volume, msg.src, ack_lc)
+        for obj, pending_lc in covered.items():
+            if pending_lc <= ack_lc:
+                self._record_ack(obj, msg.src, pending_lc)
+
+    def on_obj_renew(self, msg: Message) -> None:
+        """processObjRenewal: serve the current value and record that the
+        requester (re)installed a callback."""
+        obj: str = msg["obj"]
+        self.renewals_served += 1
+        self._last_renew_lc[(obj, msg.src)] = self.last_write_lc(obj)
+        self.reply(
+            msg, payload=self._renewal_payload(obj, msg.src, msg.get("t0"))
+        )
+
+    def on_vlobj_renew(self, msg: Message) -> None:
+        """Combined volume renewal + object renewal (read path case (a))."""
+        volume: str = msg["vol"]
+        obj: str = msg["obj"]
+        grant = self.leases.grant(volume, msg.src, self.clock.now(), msg["t0"])
+        self.renewals_served += 1
+        self._last_renew_lc[(obj, msg.src)] = self.last_write_lc(obj)
+        payload = self._renewal_payload(obj, msg.src, msg["t0"])
+        payload.update(
+            {
+                "vol": volume,
+                "L": grant.length_ms,
+                "vol_epoch": grant.epoch,
+                "delayed": _encode_delayed(grant),
+                "t0": grant.requestor_time,
+            }
+        )
+        self.reply(msg, payload=payload)
+
+    def _object_lease_length(self, obj: str) -> float:
+        """The object-lease length to grant right now (finite modes)."""
+        if self.lease_policy is not None:
+            return self.lease_policy.on_renewal(obj, self.clock.now())
+        return self.config.object_lease_ms  # type: ignore[return-value]
+
+    def _renewal_payload(
+        self, obj: str, oqs_node: str, t0: Optional[float]
+    ) -> Dict[str, Any]:
+        volume = self.volume_of(obj)
+        payload = {
+            "obj": obj,
+            "value": self._values.get(obj),
+            "lc": self.last_write_lc(obj),
+            "epoch": self.leases.epoch(volume, oqs_node),
+        }
+        if self.object_leases is not None:
+            length = self._object_lease_length(obj)
+            self.object_leases.grant(obj, oqs_node, self.clock.now(), length)
+            payload["obj_L"] = length
+            payload["obj_t0"] = t0
+        return payload
+
+    # -- invalidation machinery ------------------------------------------------------
+
+    def _record_ack(self, obj: str, oqs_node: str, lc: LogicalClock) -> None:
+        """processInvalAck: lastAckLC := MAX(lastAckLC, lc)."""
+        key = (obj, oqs_node)
+        self._last_ack_lc[key] = max(self._last_ack_lc.get(key, ZERO_LC), lc)
+
+    def _classify_oqs_node(
+        self, obj: str, volume: str, oqs_node: str, lc: LogicalClock
+    ) -> str:
+        """How must this write treat OQS node j?  One of:
+
+        - ``"invalid"`` — j provably cannot serve the old version via this
+          server's column: it acked an invalidation covering this write
+          (``lastAckLC >= lc``); or it never renewed the object from this
+          server (nothing cached); or its last ack is *strictly* newer
+          than its last renewal (the paper's case (a) with per-node
+          ``lastReadLC``; at equality the ack and a subsequent renewal
+          carry the same clock, so j may have revalidated and must be
+          suspected); or it never held the volume lease at all;
+        - ``"expired"`` — j's volume lease has lapsed: queue a delayed
+          invalidation and count j invalid (case (b));
+        - ``"valid"`` — both leases live: a direct invalidation must be
+          delivered, or the volume lease waited out (case (c)).
+        """
+        ack = self.last_ack_lc(obj, oqs_node)
+        if ack >= lc:
+            return "invalid"
+        if self.object_leases is not None and self.object_leases.is_expired(
+            obj, oqs_node, self.clock.now()
+        ):
+            # Finite object leases: the callback lapsed on its own; j
+            # cannot serve the object without renewing it first.  No
+            # invalidation, no delayed-queue entry — footnote 4's
+            # space/network saving.
+            return "invalid"
+        renew = self.last_renew_lc(obj, oqs_node)
+        if renew is None or ack > renew:
+            return "invalid"
+        # NOTE: one tempting further rule — "renew >= lc implies j already
+        # holds a version at least this new, so count it invalid" — is
+        # UNSOUND: serving a renewal only proves the reply was *sent*; if
+        # the network drops it, j still caches an older version obtained
+        # from other servers.  Only an acknowledgement (ack >= lc above)
+        # proves delivery.  (Found by the lossy-network fuzz tests.)
+        if self.leases.expiry(volume, oqs_node) == float("-inf"):
+            # Never granted the volume: j cannot satisfy Condition C through
+            # this server until it renews, at which point it must also renew
+            # the object (getting the new value).  No queue entry needed.
+            return "invalid"
+        if self.leases.is_expired(volume, oqs_node, self.clock.now()):
+            return "expired"
+        return "valid"
+
+    def _ensure_owq_invalid(self, obj: str, lc: LogicalClock, record_stats: bool = True):
+        """The write-side while-loop: block until an OQS *write quorum*
+        cannot read the old version of *obj* (ack / delayed / expiry)."""
+        volume = self.volume_of(obj)
+        interval = self.config.inval_initial_timeout_ms
+        ack_event = self.sim.future(name=f"{self.node_id}:ack:{obj}")
+        sent_any = False
+
+        def on_inval_reply(future) -> None:
+            if future.failed:
+                return
+            reply: Message = future._value
+            self._record_ack(obj, reply.src, reply["lc"])
+            if not ack_event.done:
+                ack_event.resolve(None)
+
+        while True:
+            invalid: Set[str] = set()
+            awaiting: List[str] = []
+            next_expiry = float("inf")
+            for j in self.oqs.nodes:
+                status = self._classify_oqs_node(obj, volume, j, lc)
+                if status == "invalid":
+                    invalid.add(j)
+                elif status == "expired":
+                    if not self.leases.has_delayed(volume, j, obj, lc):
+                        self.leases.enqueue_delayed(volume, j, obj, lc)
+                        self.delayed_enqueued += 1
+                    invalid.add(j)
+                else:
+                    awaiting.append(j)
+                    next_expiry = min(next_expiry, self.leases.expiry(volume, j))
+
+            if self.oqs.is_write_quorum(invalid):
+                if record_stats:
+                    if sent_any:
+                        self.writes_through += 1
+                    else:
+                        self.writes_suppressed += 1
+                    self.tracer.emit(
+                        self.node_id,
+                        "write_through" if sent_any else "write_suppress",
+                        obj=obj,
+                        lc=str(lc),
+                    )
+                return
+
+            # Invalidate the still-valid holders; retransmission happens by
+            # falling through this loop again after `interval`.
+            for j in awaiting:
+                self.send_inval(j, obj, lc, interval, on_inval_reply)
+            sent_any = True
+
+            # Wake on the first ack, or when the earliest relevant volume
+            # lease expires (then the expired branch above finishes the
+            # write), or at the retransmission interval.
+            wait = interval
+            if next_expiry < float("inf"):
+                # A small epsilon past the granter-side expiry instant so
+                # is_expired's strict comparison observes the lapse.
+                wait = min(wait, max(next_expiry - self.clock.now(), 0.0) + 0.001)
+            yield any_of(self.sim, [ack_event, self.sim.sleep(wait)])
+            if ack_event.done:
+                ack_event = self.sim.future(name=f"{self.node_id}:ack:{obj}")
+            interval = min(interval * self.config.qrpc_backoff, self.config.qrpc_max_timeout_ms)
+
+    def send_inval(self, oqs_node: str, obj: str, lc: LogicalClock,
+                   timeout: float, on_reply) -> None:
+        """Send one object invalidation and register the ack handler."""
+        self.invals_sent += 1
+        future = self.call(
+            oqs_node,
+            "inval",
+            {"obj": obj, "lc": lc, "vol": self.volume_of(obj)},
+            timeout=timeout,
+        )
+        future.add_callback(on_reply)
+
+    # -- maintenance -----------------------------------------------------------
+
+    def live_callback_count(self) -> int:
+        """Number of (object, OQS node) callbacks this server must still
+        honour — i.e. entries a write would have to invalidate or wait
+        out.  With infinite callbacks this only shrinks via acks; finite
+        object leases let it decay on its own, which is the state saving
+        of the paper's footnote 4."""
+        now = self.clock.now()
+        count = 0
+        for (obj, node), renew in self._last_renew_lc.items():
+            if renew is None:
+                continue
+            if self.last_ack_lc(obj, node) > renew:
+                continue
+            if self.object_leases is not None and self.object_leases.is_expired(
+                obj, node, now
+            ):
+                continue
+            count += 1
+        return count
+
+    def gc_volume(self, volume: str, oqs_node: str) -> None:
+        """Operator/GC entry point: advance the epoch for (volume, node),
+        dropping its delayed-invalidation queue (Section 3.2)."""
+        self.leases.bump_epoch(volume, oqs_node)
+
+
+class DqvlOqsNode(Node):
+    """An OQS server: the read-side cache of every object (Figure 5)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        node_id: str,
+        iqs_system: QuorumSystem,
+        config: DqvlConfig,
+        clock: Optional[DriftingClock] = None,
+        tracer=NULL_TRACER,
+    ) -> None:
+        super().__init__(sim, network, node_id, clock=clock)
+        self.iqs = iqs_system
+        self.config = config
+        self.tracer = tracer
+        self.view = OqsLeaseView(max_drift=config.max_drift)
+        self._values: Dict[str, Tuple[Any, LogicalClock]] = {}
+        self._volume_interest: Dict[str, float] = {}
+        self._keeper_running: Set[str] = set()
+        #: in-flight validation per object (single-flight coalescing)
+        self._validating: Dict[str, Any] = {}
+        # statistics
+        self.read_hits = 0
+        self.read_misses = 0
+        self.renewals_sent = 0
+        self.invals_received = 0
+        self.validations_coalesced = 0
+
+    # -- local validity ------------------------------------------------------------
+
+    def volume_of(self, obj: str) -> str:
+        return self.config.volume_map.volume_of(obj)
+
+    def is_local_valid(self, obj: str) -> bool:
+        """The hit test: Condition C (a fully valid IQS read quorum) plus
+        the basic protocol's max-clock rule (no newer invalidation seen)."""
+        volume = self.volume_of(obj)
+        now = self.clock.now()
+        valid_servers = set(self.view.valid_servers(volume, obj, self.iqs.nodes, now))
+        if not self.iqs.is_read_quorum(valid_servers):
+            return False
+        best_valid = self.view.best_valid_clock(volume, obj, self.iqs.nodes, now)
+        max_seen = max(
+            (self.view.object_clock(obj, i) for i in self.iqs.nodes), default=ZERO_LC
+        )
+        return best_valid >= max_seen
+
+    def local_value(self, obj: str) -> Tuple[Any, LogicalClock]:
+        return self._values.get(obj, (None, ZERO_LC))
+
+    # -- client-facing read -------------------------------------------------------------
+
+    def on_dq_read(self, msg: Message):
+        """processReadRequest: serve locally when valid, else run the
+        renewal variation of QRPC until Condition C holds."""
+        obj: str = msg["obj"]
+        self._note_interest(obj)
+        if self.is_local_valid(obj):
+            self.read_hits += 1
+            value, lc = self.local_value(obj)
+            self.tracer.emit(self.node_id, "read_hit", obj=obj, lc=str(lc))
+            self.reply(msg, payload={"obj": obj, "value": value, "lc": lc, "hit": True})
+            return
+        self.read_misses += 1
+        self.tracer.emit(self.node_id, "read_miss", obj=obj)
+        yield from self.ensure_validated(obj)
+        value, lc = self.local_value(obj)
+        self.reply(msg, payload={"obj": obj, "value": value, "lc": lc, "hit": False})
+
+    def ensure_validated(self, obj: str):
+        """Wait until the object is locally valid, coalescing concurrent
+        validations: a read storm hitting a just-invalidated object must
+        produce ONE renewal exchange, not one per reader (the classic
+        thundering-herd guard).  Loops because validity can be broken
+        again (by a new invalidation) between a joined validation's
+        completion and this reader's turn."""
+        while not self.is_local_valid(obj):
+            inflight = self._validating.get(obj)
+            if inflight is None or inflight.done:
+                def runner(obj=obj):
+                    try:
+                        yield from self.validate_local(obj)
+                    finally:
+                        self._validating.pop(obj, None)
+
+                inflight = self.spawn(
+                    runner(), name=f"{self.node_id}:validate:{obj}"
+                )
+                self._validating[obj] = inflight
+            else:
+                self.validations_coalesced += 1
+            yield inflight
+
+    def validate_local(self, obj: str):
+        """The paper's QRPC variation: per-target renewal requests (volume,
+        object, or both) repeated until Condition C becomes true.
+
+        Quorum selection is *sticky*: targets are biased toward IQS
+        servers whose volume lease this node already holds, so one
+        volume-lease renewal keeps amortising over all the volume's
+        objects instead of spreading leases across random quorums.
+        """
+        volume = self.volume_of(obj)
+
+        def sticky_targets():
+            now = self.clock.now()
+            held = {
+                i for i in self.iqs.nodes if self.view.volume_valid(volume, i, now)
+            }
+            return self.iqs.sample_read_quorum_biased(self.sim.rng, held)
+
+        def request_for(target: str):
+            now = self.clock.now()
+            vol_ok = self.view.volume_valid(volume, target, now)
+            obj_ok = self.view.object_valid(volume, obj, target, now)
+            if vol_ok and obj_ok:
+                return None
+            self.renewals_sent += 1
+            if not vol_ok and not obj_ok:
+                return ("vlobj_renew", {"vol": volume, "obj": obj, "t0": now})
+            if not vol_ok:
+                return ("vl_renew", {"vol": volume, "t0": now})
+            return ("obj_renew", {"obj": obj, "t0": now})
+
+        call = QuorumCall(
+            self,
+            self.iqs,
+            READ,
+            request_for=request_for,
+            done=lambda _replies: self.is_local_valid(obj),
+            initial_timeout_ms=self.config.qrpc_initial_timeout_ms,
+            backoff=self.config.qrpc_backoff,
+            max_timeout_ms=self.config.qrpc_max_timeout_ms,
+            max_attempts=self.config.client_max_attempts,
+            sample_targets=sticky_targets,
+        )
+        # Renewal replies mutate node state; QuorumCall only gathers the
+        # messages, so interpose handlers through the reply payloads.
+        original_handler = call._make_reply_handler
+
+        def handler_factory(target: str):
+            inner = original_handler(target)
+
+            def handle(future) -> None:
+                if not future.failed:
+                    self._apply_renewal_reply(future._value)
+                inner(future)
+
+            return handle
+
+        call._make_reply_handler = handler_factory  # type: ignore[method-assign]
+        yield from call.run()
+
+    def _apply_renewal_reply(self, reply: Message) -> None:
+        """Dispatch a renewal reply to the lease view (vl / obj / both)."""
+        server = reply.src
+        if "L" in reply.payload:  # volume grant present
+            grant = VolumeLeaseGrant(
+                volume=reply["vol"],
+                length_ms=reply["L"],
+                epoch=reply.get("vol_epoch", reply.get("epoch", 0)),
+                delayed=tuple(),
+                requestor_time=reply["t0"],
+            )
+            self.view.apply_grant(server, grant)
+            applied_max = ZERO_LC
+            for obj, lc in reply.get("delayed", []):
+                self.view.apply_invalidation(server, obj, lc)
+                applied_max = max(applied_max, lc)
+                self.invals_received += 1
+            if reply.get("delayed"):
+                self.send(server, "vl_ack", {"vol": reply["vol"], "lc": applied_max})
+        if "obj" in reply.payload:  # object renewal present
+            obj = reply["obj"]
+            if "obj_L" in reply.payload and reply.get("obj_t0") is not None:
+                # finite object lease: holder-side conservative expiry
+                obj_expires = reply["obj_t0"] + reply["obj_L"] * (
+                    1.0 - self.config.max_drift
+                )
+            else:
+                obj_expires = float("inf")
+            became_valid = self.view.apply_renewal(
+                server, obj, reply["epoch"], reply["lc"], expires=obj_expires
+            )
+            if became_valid:
+                max_seen = max(
+                    (self.view.object_clock(obj, i) for i in self.iqs.nodes),
+                    default=ZERO_LC,
+                )
+                if reply["lc"] >= max_seen:
+                    self._values[obj] = (reply["value"], reply["lc"])
+
+    # -- recovery ---------------------------------------------------------------------------
+
+    def on_recover(self) -> None:
+        """With ``volatile_oqs_recovery``, a restart loses the cache and
+        every lease; the node rebuilds by missing and revalidating.
+        Losing state is always safe — the protocol's hazard is serving
+        *stale* data, never serving none."""
+        if self.config.volatile_oqs_recovery:
+            self.view = OqsLeaseView(max_drift=self.config.max_drift)
+            self._values.clear()
+            self._volume_interest.clear()
+            self._keeper_running.clear()
+
+    # -- IQS-facing handlers ----------------------------------------------------------------
+
+    def on_inval(self, msg: Message) -> None:
+        """processInval: record the invalidation if news; always ack."""
+        self.invals_received += 1
+        self.view.apply_invalidation(msg.src, msg["obj"], msg["lc"])
+        self.reply(msg, payload={"obj": msg["obj"], "lc": msg["lc"]})
+
+    # -- proactive volume renewal -----------------------------------------------------------
+
+    def _note_interest(self, obj: str) -> None:
+        if not self.config.proactive_renewal:
+            return
+        volume = self.volume_of(obj)
+        self._volume_interest[volume] = self.clock.now()
+        if volume not in self._keeper_running:
+            self._keeper_running.add(volume)
+            self.spawn(self._volume_keeper(volume), name=f"{self.node_id}:keeper:{volume}")
+
+    def _volume_keeper(self, volume: str):
+        """Background renewal loop: while the volume has recent read
+        interest, renew its lease `renewal_margin_ms` before expiry from a
+        full IQS read quorum."""
+        margin = self.config.renewal_margin_ms
+        while True:
+            now = self.clock.now()
+            interest = self._volume_interest.get(volume, float("-inf"))
+            if now - interest > self.config.interest_window_ms:
+                break  # cold volume: let the lease lapse
+            # Earliest expiry across the read quorum we want to keep valid.
+            deadline = min(
+                (self.view.volume_expiry(volume, i) for i in self.iqs.nodes),
+                default=float("-inf"),
+            )
+            if deadline - now <= margin:
+                yield from self._renew_volume_quorum(volume)
+            else:
+                yield self.sim.sleep(max(deadline - now - margin, 1.0))
+                continue
+            now = self.clock.now()
+            deadline = min(
+                (self.view.volume_expiry(volume, i) for i in self.iqs.nodes),
+                default=now,
+            )
+            yield self.sim.sleep(max(deadline - now - margin, 1.0))
+        self._keeper_running.discard(volume)
+
+    def _renew_volume_quorum(self, volume: str):
+        """Renew the volume lease from every member of an IQS read quorum
+        whose grant is stale (used by the keeper, off the read path).
+        Sticky toward the currently held servers."""
+
+        def sticky_targets():
+            now = self.clock.now()
+            held = {
+                i for i in self.iqs.nodes if self.view.volume_valid(volume, i, now)
+            }
+            return self.iqs.sample_read_quorum_biased(self.sim.rng, held)
+
+        def request_for(target: str):
+            now = self.clock.now()
+            if self.view.volume_valid(volume, target, now) and (
+                self.view.volume_expiry(volume, target) - now
+                > self.config.renewal_margin_ms
+            ):
+                return None
+            self.renewals_sent += 1
+            return ("vl_renew", {"vol": volume, "t0": now})
+
+        def done(_replies) -> bool:
+            now = self.clock.now()
+            fresh = {
+                i
+                for i in self.iqs.nodes
+                if self.view.volume_valid(volume, i, now)
+                and self.view.volume_expiry(volume, i) - now
+                > self.config.renewal_margin_ms
+            }
+            return self.iqs.is_read_quorum(fresh)
+
+        call = QuorumCall(
+            self,
+            self.iqs,
+            READ,
+            request_for=request_for,
+            done=done,
+            initial_timeout_ms=self.config.qrpc_initial_timeout_ms,
+            backoff=self.config.qrpc_backoff,
+            max_timeout_ms=self.config.qrpc_max_timeout_ms,
+            max_attempts=3,
+            sample_targets=sticky_targets,
+        )
+        original_handler = call._make_reply_handler
+
+        def handler_factory(target: str):
+            inner = original_handler(target)
+
+            def handle(future) -> None:
+                if not future.failed:
+                    self._apply_renewal_reply(future._value)
+                inner(future)
+
+            return handle
+
+        call._make_reply_handler = handler_factory  # type: ignore[method-assign]
+        try:
+            yield from call.run()
+        except Exception:
+            # Keeper renewals are best-effort; the read path renews on
+            # demand if the keeper could not reach a quorum.
+            pass
+
+
+class DqvlClient(Node):
+    """A service client: the front-end edge server's access library."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        node_id: str,
+        iqs_system: QuorumSystem,
+        oqs_system: QuorumSystem,
+        config: DqvlConfig,
+        clock: Optional[DriftingClock] = None,
+        tracer=NULL_TRACER,
+        prefer_oqs: Optional[str] = None,
+        prefer_iqs: Optional[str] = None,
+    ) -> None:
+        super().__init__(sim, network, node_id, clock=clock)
+        self.iqs = iqs_system
+        self.oqs = oqs_system
+        self.config = config
+        self.tracer = tracer
+        #: Replica to include in every sampled OQS read quorum — the
+        #: front end's co-located (or nearest) edge replica.
+        self.prefer_oqs = prefer_oqs
+        self.prefer_iqs = prefer_iqs
+        self._lc_seen = ZERO_LC
+
+    def _qrpc_config(self, prefer: Optional[str]) -> Dict[str, Any]:
+        return {
+            "initial_timeout_ms": self.config.qrpc_initial_timeout_ms,
+            "backoff": self.config.qrpc_backoff,
+            "max_timeout_ms": self.config.qrpc_max_timeout_ms,
+            "max_attempts": self.config.client_max_attempts,
+            "prefer": prefer,
+        }
+
+    def read(self, obj: str):
+        """Client read: QRPC(OQS, READ); return the highest-clock reply."""
+        start = self.sim.now
+        replies = yield from qrpc(
+            self, self.oqs, READ, "dq_read", {"obj": obj},
+            **self._qrpc_config(self.prefer_oqs),
+        )
+        best: Optional[Message] = None
+        for reply in replies.values():
+            if best is None or reply["lc"] > best["lc"]:
+                best = reply
+        assert best is not None
+        return ReadResult(
+            key=obj,
+            value=best["value"],
+            lc=best["lc"],
+            start_time=start,
+            end_time=self.sim.now,
+            client=self.node_id,
+            server=best.src,
+            hit=best.get("hit"),
+        )
+
+    def write(self, obj: str, value: Any):
+        """Client write: read the highest logical clock from an IQS read
+        quorum, advance it, and write to an IQS write quorum."""
+        start = self.sim.now
+        replies = yield from qrpc(
+            self, self.iqs, READ, "lc_read", {},
+            **self._qrpc_config(self.prefer_iqs),
+        )
+        highest = max((r["lc"] for r in replies.values()), default=ZERO_LC)
+        highest = max(highest, self._lc_seen)
+        lc = highest.next(self.node_id)
+        self._lc_seen = lc
+        yield from qrpc(
+            self,
+            self.iqs,
+            WRITE,
+            "dq_write",
+            {"obj": obj, "value": value, "lc": lc},
+            **self._qrpc_config(self.prefer_iqs),
+        )
+        return WriteResult(
+            key=obj,
+            value=value,
+            lc=lc,
+            start_time=start,
+            end_time=self.sim.now,
+            client=self.node_id,
+        )

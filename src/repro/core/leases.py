@@ -1,0 +1,391 @@
+"""Volume-lease state machines.
+
+This module holds the lease bookkeeping both sides of DQVL need
+(Section 3.2 of the paper), factored out of the node classes so the
+invariants can be unit- and property-tested in isolation:
+
+* :class:`IqsLeaseTable` — what an IQS server i tracks about every OQS
+  node j: per-volume lease expiry ``expires[v][j]``, the queue of
+  **delayed invalidations** ``delayed[v][j]``, and the **epoch number**
+  ``epoch[v][j]`` used to garbage-collect that queue;
+* :class:`OqsLeaseView` — what an OQS node j tracks about every IQS
+  server i: per-volume lease expiry and epoch, and per-object
+  ``(epoch, logicalClock, valid)`` triples.
+
+Clock-drift safety
+------------------
+Leases are granted for a nominal length ``L`` but the two sides book
+them asymmetrically:
+
+* the **holder** (OQS) records ``t0 + L * (1 - maxDrift)`` where ``t0``
+  is its local send time of the renewal request — the paper's rule;
+* the **granter** (IQS) records ``now + L * (1 + maxDrift)``.
+
+The paper states only the holder-side correction.  With drift on *both*
+clocks the holder-side correction alone is insufficient (a fast granter
+clock paired with a slow holder clock lets the granter expire the lease
+before the holder does, in real time); widening the granter's wait by
+``(1 + maxDrift)`` restores the invariant that the granter never
+considers a lease expired while the holder still considers it valid.
+EXPERIMENTS.md and the property tests cover this corner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..types import ZERO_LC, LogicalClock
+
+__all__ = [
+    "DelayedInval",
+    "VolumeLeaseGrant",
+    "IqsLeaseTable",
+    "OqsLeaseView",
+    "ObjectLeaseTable",
+    "AdaptiveObjectLeasePolicy",
+]
+
+
+@dataclass(frozen=True)
+class DelayedInval:
+    """An invalidation withheld because the target's volume lease had
+    expired; delivered when the target next renews the volume."""
+
+    obj: str
+    lc: LogicalClock
+
+
+@dataclass(frozen=True)
+class VolumeLeaseGrant:
+    """The lease-bearing part of a volume renewal reply."""
+
+    volume: str
+    length_ms: float
+    epoch: int
+    delayed: Tuple[DelayedInval, ...]
+    requestor_time: float
+
+
+class IqsLeaseTable:
+    """IQS-side per-(volume, OQS-node) lease state.
+
+    Parameters
+    ----------
+    lease_length_ms:
+        Nominal volume lease length ``L``.
+    max_drift:
+        System-wide clock drift bound ``maxDrift``.
+    max_delayed:
+        Queue bound: when a node's delayed-invalidation queue for a
+        volume exceeds this, the epoch is advanced and the queue dropped
+        (the paper's epoch-based garbage collection).
+    """
+
+    def __init__(
+        self,
+        lease_length_ms: float,
+        max_drift: float = 0.0,
+        max_delayed: int = 1000,
+    ) -> None:
+        if lease_length_ms <= 0:
+            raise ValueError("lease_length_ms must be positive")
+        if max_delayed < 1:
+            raise ValueError("max_delayed must be at least 1")
+        self.lease_length_ms = lease_length_ms
+        self.max_drift = max_drift
+        self.max_delayed = max_delayed
+        # keyed by (volume, oqs_node)
+        self._expires: Dict[Tuple[str, str], float] = {}
+        self._epoch: Dict[Tuple[str, str], int] = {}
+        self._delayed: Dict[Tuple[str, str], Dict[str, LogicalClock]] = {}
+        self.epoch_bumps = 0
+
+    # -- lease grants --------------------------------------------------------
+
+    def grant(self, volume: str, node: str, now: float, requestor_time: float) -> VolumeLeaseGrant:
+        """Process a volume renewal request from *node* at local time *now*.
+
+        Returns the grant to send back (including the pending delayed
+        invalidations, which are **not** cleared until acknowledged) and
+        records the conservative granter-side expiry.
+        """
+        key = (volume, node)
+        self._expires[key] = now + self.lease_length_ms * (1.0 + self.max_drift)
+        delayed = tuple(
+            DelayedInval(obj, lc)
+            for obj, lc in sorted(self._delayed.get(key, {}).items())
+        )
+        return VolumeLeaseGrant(
+            volume=volume,
+            length_ms=self.lease_length_ms,
+            epoch=self._epoch.get(key, 0),
+            delayed=delayed,
+            requestor_time=requestor_time,
+        )
+
+    def is_expired(self, volume: str, node: str, now: float) -> bool:
+        """Granter-side check: may *node* still be reading under this lease?
+
+        Uses a strict comparison in the safe direction: at the exact
+        boundary instant the granter still treats the lease as live.
+        """
+        return self._expires.get((volume, node), float("-inf")) < now
+
+    def expiry(self, volume: str, node: str) -> float:
+        """Recorded expiry time (``-inf`` when never granted)."""
+        return self._expires.get((volume, node), float("-inf"))
+
+    # -- delayed invalidations --------------------------------------------------
+
+    def enqueue_delayed(self, volume: str, node: str, obj: str, lc: LogicalClock) -> None:
+        """Queue an invalidation for delivery at *node*'s next renewal.
+
+        Only the highest logical clock per object is retained (an
+        invalidation subsumes all older ones for the same object).  If the
+        queue outgrows ``max_delayed``, the epoch advances instead — the
+        holder will conservatively drop all object leases for the volume.
+        """
+        key = (volume, node)
+        queue = self._delayed.setdefault(key, {})
+        current = queue.get(obj, ZERO_LC)
+        queue[obj] = max(current, lc)
+        if len(queue) > self.max_delayed:
+            self.bump_epoch(volume, node)
+
+    def ack_delayed(self, volume: str, node: str, lc: LogicalClock) -> None:
+        """Clear delayed invalidations covered by the holder's ack *lc*."""
+        key = (volume, node)
+        queue = self._delayed.get(key)
+        if not queue:
+            return
+        for obj in [o for o, pending in queue.items() if pending <= lc]:
+            del queue[obj]
+        if not queue:
+            del self._delayed[key]
+
+    def delayed_count(self, volume: str, node: str) -> int:
+        return len(self._delayed.get((volume, node), {}))
+
+    def pending_delayed(self, volume: str, node: str) -> Dict[str, LogicalClock]:
+        """A copy of the queue (tests and tracing)."""
+        return dict(self._delayed.get((volume, node), {}))
+
+    def has_delayed(self, volume: str, node: str, obj: str, lc: LogicalClock) -> bool:
+        """Is an invalidation at least as new as *lc* queued for (node, obj)?"""
+        return self._delayed.get((volume, node), {}).get(obj, ZERO_LC) >= lc
+
+    # -- epochs -------------------------------------------------------------------
+
+    def epoch(self, volume: str, node: str) -> int:
+        return self._epoch.get((volume, node), 0)
+
+    def bump_epoch(self, volume: str, node: str) -> None:
+        """Advance the epoch and drop the delayed queue (GC).
+
+        After the bump, the next grant carries the new epoch number; the
+        holder then treats every object lease under the volume as revoked,
+        which is what makes dropping the queue safe.
+        """
+        key = (volume, node)
+        self._epoch[key] = self._epoch.get(key, 0) + 1
+        self._delayed.pop(key, None)
+        self.epoch_bumps += 1
+
+
+class AdaptiveObjectLeasePolicy:
+    """Adaptive object-lease lengths (Duvvuri et al., the paper's [9]).
+
+    Read-hot objects earn longer leases (fewer renewals); write-hot
+    objects get shorter ones (less callback state and fewer
+    invalidation round trips blocked on them):
+
+    * on a renewal that arrives within *two* lease lengths of the
+      previous one — i.e. before or soon after the last lease expired,
+      which is how sustained interest manifests under lazy (miss-driven)
+      renewal — the object's lease length doubles (capped at ``max_ms``);
+    * on a write, it halves (floored at ``min_ms``).
+    """
+
+    def __init__(self, min_ms: float, max_ms: float, initial_ms: Optional[float] = None):
+        if not 0 < min_ms <= max_ms:
+            raise ValueError("need 0 < min_ms <= max_ms")
+        self.min_ms = min_ms
+        self.max_ms = max_ms
+        self.initial_ms = initial_ms if initial_ms is not None else min_ms
+        if not min_ms <= self.initial_ms <= max_ms:
+            raise ValueError("initial_ms must lie within [min_ms, max_ms]")
+        self._length: Dict[str, float] = {}
+        self._last_renewal: Dict[str, float] = {}
+
+    def length_for(self, obj: str) -> float:
+        """Current lease length for *obj*."""
+        return self._length.get(obj, self.initial_ms)
+
+    def on_renewal(self, obj: str, now: float) -> float:
+        """Record a renewal; returns the length to grant."""
+        length = self.length_for(obj)
+        last = self._last_renewal.get(obj)
+        if last is not None and now - last <= 2.0 * length:
+            length = min(length * 2.0, self.max_ms)
+        self._length[obj] = length
+        self._last_renewal[obj] = now
+        return length
+
+    def on_write(self, obj: str) -> None:
+        """Record a write; shortens the object's future leases."""
+        self._length[obj] = max(self.length_for(obj) / 2.0, self.min_ms)
+
+
+class ObjectLeaseTable:
+    """IQS-side finite object-lease expiry per (object, OQS node).
+
+    With finite object leases an IQS server may classify an OQS node as
+    unable to read an object simply because its *object* lease lapsed —
+    no invalidation, no delayed-invalidation queue entry: the space and
+    network optimisation of the paper's footnote 4.
+    """
+
+    def __init__(self, max_drift: float = 0.0) -> None:
+        self.max_drift = max_drift
+        self._expires: Dict[Tuple[str, str], float] = {}
+
+    def grant(self, obj: str, node: str, now: float, length_ms: float) -> float:
+        """Record a grant (granter-side conservative); returns length."""
+        self._expires[(obj, node)] = now + length_ms * (1.0 + self.max_drift)
+        return length_ms
+
+    def is_expired(self, obj: str, node: str, now: float) -> bool:
+        """Granter-side check (strict in the safe direction)."""
+        return self._expires.get((obj, node), float("-inf")) < now
+
+    def expiry(self, obj: str, node: str) -> float:
+        return self._expires.get((obj, node), float("-inf"))
+
+
+@dataclass
+class _ObjectLease:
+    """OQS-side per-(object, IQS-node) record."""
+
+    epoch: int = 0
+    lc: LogicalClock = ZERO_LC
+    valid: bool = False
+    #: holder-side object-lease expiry; +inf = infinite callback
+    expires: float = float("inf")
+
+
+class OqsLeaseView:
+    """OQS-side view of leases granted by each IQS server.
+
+    Tracks, per IQS node *i*: the volume lease (``expires``, ``epoch``)
+    and per-object ``(epoch, logicalClock, valid)``.  The object-validity
+    rule is the paper's: an object lease from *i* is usable only when its
+    recorded epoch equals the volume's current epoch from *i* **and** the
+    last event received for it from *i* was an update (not an
+    invalidation) **and** the volume lease from *i* is unexpired.
+    """
+
+    def __init__(self, max_drift: float = 0.0) -> None:
+        self.max_drift = max_drift
+        self._vol_expires: Dict[Tuple[str, str], float] = {}
+        self._vol_epoch: Dict[Tuple[str, str], int] = {}
+        self._objects: Dict[Tuple[str, str], _ObjectLease] = {}
+
+    # -- volume side -----------------------------------------------------------
+
+    def apply_grant(self, iqs_node: str, grant: VolumeLeaseGrant) -> None:
+        """Install a volume renewal reply from *iqs_node*.
+
+        Expiry is computed from the echoed requestor send time with the
+        holder-side drift correction; both expiry and epoch are merged
+        with ``MAX`` so reordered replies cannot regress the state
+        (matching the paper's ``processVLRenewReply``).
+        """
+        vkey = (grant.volume, iqs_node)
+        conservative = grant.requestor_time + grant.length_ms * (1.0 - self.max_drift)
+        self._vol_expires[vkey] = max(
+            self._vol_expires.get(vkey, float("-inf")), conservative
+        )
+        self._vol_epoch[vkey] = max(self._vol_epoch.get(vkey, 0), grant.epoch)
+        for inval in grant.delayed:
+            self.apply_invalidation(iqs_node, inval.obj, inval.lc)
+
+    def volume_valid(self, volume: str, iqs_node: str, now: float) -> bool:
+        """Holder-side check, strict in the safe direction (``>``)."""
+        return self._vol_expires.get((volume, iqs_node), float("-inf")) > now
+
+    def volume_expiry(self, volume: str, iqs_node: str) -> float:
+        return self._vol_expires.get((volume, iqs_node), float("-inf"))
+
+    def volume_epoch(self, volume: str, iqs_node: str) -> int:
+        return self._vol_epoch.get((volume, iqs_node), 0)
+
+    # -- object side ---------------------------------------------------------------
+
+    def apply_invalidation(self, iqs_node: str, obj: str, lc: LogicalClock) -> None:
+        """Record an invalidation from *i* if it is news (higher clock)."""
+        lease = self._objects.setdefault((obj, iqs_node), _ObjectLease())
+        if lc > lease.lc:
+            lease.lc = lc
+            lease.valid = False
+
+    def apply_renewal(
+        self,
+        iqs_node: str,
+        obj: str,
+        epoch: int,
+        lc: LogicalClock,
+        expires: float = float("inf"),
+    ) -> bool:
+        """Record an object renewal reply; returns True if it validated.
+
+        Follows the paper's ``processRenewReply``: the epoch merges with
+        MAX; the object becomes valid only if no *newer* invalidation
+        from the same server has already been seen (``lc`` must be at
+        least the recorded clock).  *expires* carries the holder-side
+        finite-object-lease expiry (``+inf`` for the paper's simplifying
+        infinite callbacks).
+        """
+        lease = self._objects.setdefault((obj, iqs_node), _ObjectLease())
+        lease.epoch = max(lease.epoch, epoch)
+        if lease.lc <= lc:
+            lease.lc = lc
+            lease.valid = True
+            lease.expires = expires
+            return True
+        return False
+
+    def object_state(self, obj: str, iqs_node: str) -> Tuple[int, LogicalClock, bool]:
+        lease = self._objects.get((obj, iqs_node), _ObjectLease())
+        return (lease.epoch, lease.lc, lease.valid)
+
+    def object_valid(self, volume: str, obj: str, iqs_node: str, now: float) -> bool:
+        """The paper's full validity condition for (obj, i): valid volume
+        lease ∧ matching epoch ∧ last event was an update ∧ (when object
+        leases are finite) the object lease itself is unexpired."""
+        if not self.volume_valid(volume, iqs_node, now):
+            return False
+        lease = self._objects.get((obj, iqs_node))
+        if lease is None:
+            return False
+        return (
+            lease.valid
+            and lease.epoch == self.volume_epoch(volume, iqs_node)
+            and lease.expires > now
+        )
+
+    def valid_servers(self, volume: str, obj: str, iqs_nodes: Iterable[str], now: float) -> List[str]:
+        """IQS nodes from which (volume, obj) is currently fully valid."""
+        return [i for i in iqs_nodes if self.object_valid(volume, obj, i, now)]
+
+    def object_clock(self, obj: str, iqs_node: str) -> LogicalClock:
+        lease = self._objects.get((obj, iqs_node))
+        return lease.lc if lease is not None else ZERO_LC
+
+    def best_valid_clock(self, volume: str, obj: str, iqs_nodes: Iterable[str], now: float) -> LogicalClock:
+        """``MAX`` of clocks over servers whose lease for *obj* is valid."""
+        best = ZERO_LC
+        for i in iqs_nodes:
+            if self.object_valid(volume, obj, i, now):
+                best = max(best, self.object_clock(obj, i))
+        return best

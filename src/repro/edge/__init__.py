@@ -1,0 +1,44 @@
+"""Edge-service architecture: topology, front ends, deployments.
+
+Models Figure 1 of the paper: application clients reach nearby front-end
+edge servers, which execute service logic and act as service clients of
+the replicated storage system.
+"""
+
+from .deployments import (
+    PROTOCOL_DEPLOYERS,
+    Deployment,
+    deploy_basic_dq,
+    deploy_dqvl,
+    deploy_majority,
+    deploy_primary_backup,
+    deploy_rowa,
+    deploy_rowa_async,
+)
+from .frontend import (
+    AppClient,
+    FrontEnd,
+    LocalityRedirection,
+    OperationFailed,
+    RedirectionPolicy,
+)
+from .topology import EdgeDelayModel, EdgeTopology, EdgeTopologyConfig
+
+__all__ = [
+    "EdgeTopology",
+    "EdgeTopologyConfig",
+    "EdgeDelayModel",
+    "FrontEnd",
+    "AppClient",
+    "RedirectionPolicy",
+    "LocalityRedirection",
+    "OperationFailed",
+    "Deployment",
+    "deploy_dqvl",
+    "deploy_basic_dq",
+    "deploy_majority",
+    "deploy_primary_backup",
+    "deploy_rowa",
+    "deploy_rowa_async",
+    "PROTOCOL_DEPLOYERS",
+]

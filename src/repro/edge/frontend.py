@@ -1,0 +1,188 @@
+"""Front ends and application clients (Figure 1's request path).
+
+An :class:`AppClient` is an end user's machine: it sends each request to
+a front-end edge server chosen by a :class:`RedirectionPolicy` and waits
+for the response — a closed loop, as in the paper ("the application
+client sends the next request only after it receives the response of the
+current request").
+
+A :class:`FrontEnd` is the service logic on an edge server: it owns a
+protocol *service client* (DQVL, majority, ROWA, ...) and translates
+application requests into storage operations.  Application clients are
+unaware of the storage protocol and never contact the OQS/IQS directly,
+exactly as the system model requires.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+from ..sim.kernel import Simulator
+from ..sim.messages import Message
+from ..sim.network import Network
+from ..sim.node import Node, RpcTimeout
+from ..types import ZERO_LC, ReadResult, WriteResult
+
+__all__ = ["FrontEnd", "AppClient", "RedirectionPolicy", "LocalityRedirection", "OperationFailed"]
+
+
+class OperationFailed(Exception):
+    """An application-level operation was rejected or timed out."""
+
+    def __init__(self, kind: str, key: str, detail: str = ""):
+        super().__init__(f"{kind}({key!r}) failed{': ' + detail if detail else ''}")
+        self.kind = kind
+        self.key = key
+        self.detail = detail
+
+
+class FrontEnd(Node):
+    """Edge-server service logic: application requests → storage ops.
+
+    ``store_client`` is any object with ``read(key)`` / ``write(key,
+    value)`` generator methods returning Read/Write results — i.e. any
+    protocol client from :mod:`repro.core` or :mod:`repro.protocols`.
+    Protocol errors (quorum unreachable) surface to the application as
+    an ``error`` field in the reply, which :class:`AppClient` converts
+    into :class:`OperationFailed` — the "rejected request" of the
+    paper's availability definition.
+    """
+
+    def __init__(self, sim: Simulator, network: Network, node_id: str, store_client) -> None:
+        super().__init__(sim, network, node_id)
+        self.store_client = store_client
+        self.requests_served = 0
+        self.requests_failed = 0
+
+    def on_fe_read(self, msg: Message):
+        try:
+            result: ReadResult = yield from self.store_client.read(msg["obj"])
+        except Exception as exc:  # noqa: BLE001 - report to the app client
+            self.requests_failed += 1
+            self.reply(msg, payload={"error": repr(exc)})
+            return
+        self.requests_served += 1
+        self.reply(
+            msg,
+            payload={
+                "obj": result.key,
+                "value": result.value,
+                "lc": result.lc,
+                "hit": result.hit,
+                "server": result.server,
+            },
+        )
+
+    def on_fe_write(self, msg: Message):
+        try:
+            result: WriteResult = yield from self.store_client.write(
+                msg["obj"], msg["value"]
+            )
+        except Exception as exc:  # noqa: BLE001
+            self.requests_failed += 1
+            self.reply(msg, payload={"error": repr(exc)})
+            return
+        self.requests_served += 1
+        self.reply(msg, payload={"obj": result.key, "lc": result.lc})
+
+
+class RedirectionPolicy:
+    """Chooses the front end for each application request."""
+
+    def pick(self, rng) -> str:
+        raise NotImplementedError
+
+
+class LocalityRedirection(RedirectionPolicy):
+    """With probability *locality*, route to the home front end;
+    otherwise to a uniformly random distant one.
+
+    This is the paper's access-locality knob (Figure 7): locality 1.0 is
+    the normal case (requests always reach the closest edge server);
+    lower values model failures of the closest server or client
+    mobility.
+    """
+
+    def __init__(self, home: str, all_front_ends: Sequence[str], locality: float) -> None:
+        if not 0.0 <= locality <= 1.0:
+            raise ValueError("locality must be in [0, 1]")
+        self.home = home
+        self.others: List[str] = [fe for fe in all_front_ends if fe != home]
+        if home not in all_front_ends:
+            raise ValueError("home front end must be among all_front_ends")
+        if not self.others and locality < 1.0:
+            raise ValueError("need at least two front ends for locality < 1")
+        self.locality = locality
+
+    def pick(self, rng) -> str:
+        if self.locality >= 1.0 or rng.random() < self.locality:
+            return self.home
+        return rng.choice(self.others)
+
+
+class AppClient(Node):
+    """A closed-loop application client."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        node_id: str,
+        redirection: RedirectionPolicy,
+        request_timeout_ms: float = 30_000.0,
+    ) -> None:
+        super().__init__(sim, network, node_id)
+        self.redirection = redirection
+        self.request_timeout_ms = request_timeout_ms
+
+    def read(self, key: str):
+        """Issue one read via a redirected front end.
+
+        Returns an application-level :class:`ReadResult` whose latency
+        includes the client↔front-end hop; raises
+        :class:`OperationFailed` on rejection or timeout.
+        """
+        start = self.sim.now
+        front_end = self.redirection.pick(self.sim.rng)
+        try:
+            reply = yield self.call(
+                front_end, "fe_read", {"obj": key}, timeout=self.request_timeout_ms
+            )
+        except RpcTimeout as exc:
+            raise OperationFailed("read", key, detail=str(exc))
+        if "error" in reply.payload:
+            raise OperationFailed("read", key, detail=reply["error"])
+        return ReadResult(
+            key=key,
+            value=reply["value"],
+            lc=reply["lc"],
+            start_time=start,
+            end_time=self.sim.now,
+            client=self.node_id,
+            server=reply.get("server"),
+            hit=reply.get("hit"),
+        )
+
+    def write(self, key: str, value: Any):
+        """Issue one write via a redirected front end (see :meth:`read`)."""
+        start = self.sim.now
+        front_end = self.redirection.pick(self.sim.rng)
+        try:
+            reply = yield self.call(
+                front_end,
+                "fe_write",
+                {"obj": key, "value": value},
+                timeout=self.request_timeout_ms,
+            )
+        except RpcTimeout as exc:
+            raise OperationFailed("write", key, detail=str(exc))
+        if "error" in reply.payload:
+            raise OperationFailed("write", key, detail=reply["error"])
+        return WriteResult(
+            key=key,
+            value=value,
+            lc=reply["lc"],
+            start_time=start,
+            end_time=self.sim.now,
+            client=self.node_id,
+        )

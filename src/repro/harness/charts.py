@@ -1,0 +1,111 @@
+"""Terminal charts — because the offline environment has no matplotlib.
+
+:func:`ascii_chart` renders multiple (x, y) series on a character grid
+with optional log-scaled y axis (needed for the unavailability figures,
+which span 13 orders of magnitude).  Each series is drawn with its own
+marker; a legend and axis labels are attached.  Good enough to eyeball
+every figure's shape straight from ``python -m repro figure <name>
+--chart``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["ascii_chart"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _nice_number(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) < 1e-3 or abs(value) >= 1e5:
+        return f"{value:.0e}"
+    if abs(value) >= 100:
+        return f"{value:.0f}"
+    return f"{value:g}"
+
+
+def ascii_chart(
+    x_values: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 18,
+    log_y: bool = False,
+    x_label: str = "x",
+    y_label: str = "y",
+    title: Optional[str] = None,
+) -> str:
+    """Render *series* (name → y values over *x_values*) as text.
+
+    With ``log_y``, zero/negative points are clamped to the smallest
+    positive value present (they render on the bottom edge).
+    """
+    if not x_values or not series:
+        return "(no data)"
+    if any(len(ys) != len(x_values) for ys in series.values()):
+        raise ValueError("every series must have one y per x")
+
+    xs = [float(x) for x in x_values]
+    all_ys = [float(y) for ys in series.values() for y in ys]
+
+    if log_y:
+        positive = [y for y in all_ys if y > 0]
+        floor = min(positive) if positive else 1e-12
+        transform = lambda y: math.log10(max(y, floor))  # noqa: E731
+        y_lo, y_hi = transform(floor), transform(max(all_ys + [floor]))
+    else:
+        transform = lambda y: y  # noqa: E731
+        y_lo, y_hi = min(all_ys), max(all_ys)
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    x_lo, x_hi = min(xs), max(xs)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def plot(x: float, y: float, marker: str) -> None:
+        col = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = round((transform(y) - y_lo) / (y_hi - y_lo) * (height - 1))
+        row = height - 1 - row
+        current = grid[row][col]
+        grid[row][col] = marker if current in (" ", marker) else "?"
+
+    names = sorted(series)
+    for index, name in enumerate(names):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in zip(xs, series[name]):
+            plot(x, y, marker)
+
+    top_label = _nice_number(10 ** y_hi if log_y else y_hi)
+    bottom_label = _nice_number(10 ** y_lo if log_y else y_lo)
+    gutter = max(len(top_label), len(bottom_label), len(y_label)) + 1
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_label.rjust(gutter)} {'(log scale)' if log_y else ''}".rstrip())
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = top_label
+        elif row_index == height - 1:
+            label = bottom_label
+        else:
+            label = ""
+        lines.append(f"{label.rjust(gutter)} |{''.join(row)}")
+    lines.append(f"{' ' * gutter} +{'-' * width}")
+    left = _nice_number(x_lo)
+    right = _nice_number(x_hi)
+    spacer = " " * max(1, width - len(left) - len(right) - len(x_label) - 2)
+    lines.append(
+        f"{' ' * gutter}  {left}{spacer[: len(spacer) // 2]}{x_label}"
+        f"{spacer[len(spacer) // 2:]}{right}"
+    )
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, name in enumerate(names)
+    )
+    lines.append(f"{' ' * gutter}  {legend}   ? overlap")
+    return "\n".join(lines)

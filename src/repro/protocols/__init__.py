@@ -1,0 +1,53 @@
+"""Baseline replication protocols the paper compares DQVL against.
+
+All baselines run on the same simulation substrate and expose the same
+client interface (``read``/``write`` generators), so the harness can
+swap protocols under identical workloads and topologies:
+
+* :mod:`~repro.protocols.primary_backup` — one primary orders everything;
+* :mod:`~repro.protocols.majority` — quorum register, one-round reads and
+  two-round writes (also hosts grid-quorum deployments via a custom
+  quorum system);
+* :mod:`~repro.protocols.rowa` — synchronous read-one/write-all;
+* :mod:`~repro.protocols.rowa_async` — epidemic, weakly consistent.
+"""
+
+from .base import StoreServer, VersionedStore, lamport_from_clock
+from .majority import MajorityClient, MajorityCluster, MajorityServer, build_majority_cluster
+from .primary_backup import (
+    BackupServer,
+    PrimaryBackupClient,
+    PrimaryBackupCluster,
+    PrimaryServer,
+    build_primary_backup_cluster,
+)
+from .rowa import RowaClient, RowaCluster, RowaServer, build_rowa_cluster
+from .rowa_async import (
+    RowaAsyncClient,
+    RowaAsyncCluster,
+    RowaAsyncServer,
+    build_rowa_async_cluster,
+)
+
+__all__ = [
+    "VersionedStore",
+    "StoreServer",
+    "lamport_from_clock",
+    "MajorityServer",
+    "MajorityClient",
+    "MajorityCluster",
+    "build_majority_cluster",
+    "PrimaryServer",
+    "BackupServer",
+    "PrimaryBackupClient",
+    "PrimaryBackupCluster",
+    "build_primary_backup_cluster",
+    "RowaServer",
+    "RowaClient",
+    "RowaCluster",
+    "build_rowa_cluster",
+    "RowaAsyncServer",
+    "RowaAsyncClient",
+    "RowaAsyncCluster",
+    "build_rowa_async_cluster",
+]

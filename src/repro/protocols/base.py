@@ -1,0 +1,86 @@
+"""Shared pieces for the baseline replication protocols.
+
+Every baseline exposes the same client surface as DQVL — ``read(obj)``
+and ``write(obj, value)`` generator methods returning
+:class:`~repro.types.ReadResult` / :class:`~repro.types.WriteResult` — so
+the workload harness and the consistency checker drive all protocols
+identically.
+
+Write ordering in the baselines uses totally ordered logical clocks.
+Where the paper's prototype would use real-time timestamps (ROWA,
+ROWA-Async), we derive the clock from the writer's local drifting clock
+plus the node id as a tiebreaker; with the drift bounds used in the
+experiments this orders sequential writes correctly, and concurrent
+writes may be ordered either way — exactly what regular (or weaker)
+semantics permits.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from ..sim.clock import DriftingClock
+from ..sim.kernel import Simulator
+from ..sim.network import Network
+from ..sim.node import Node
+from ..types import ZERO_LC, LogicalClock
+
+__all__ = ["VersionedStore", "StoreServer", "lamport_from_clock"]
+
+
+def lamport_from_clock(clock_reading: float, node_id: str) -> LogicalClock:
+    """A logical clock derived from a real-time reading (microsecond
+    resolution) — the timestamping scheme of the ROWA-family baselines."""
+    return LogicalClock(int(clock_reading * 1000), node_id)
+
+
+class VersionedStore:
+    """A last-writer-wins object store keyed by logical clock."""
+
+    def __init__(self) -> None:
+        self._data: Dict[str, Tuple[Any, LogicalClock]] = {}
+
+    def get(self, obj: str) -> Tuple[Any, LogicalClock]:
+        """Current (value, clock); ``(None, ZERO_LC)`` when unwritten."""
+        return self._data.get(obj, (None, ZERO_LC))
+
+    def apply(self, obj: str, value: Any, lc: LogicalClock) -> bool:
+        """Install (value, lc) if it is newer; returns True when applied."""
+        _current, current_lc = self.get(obj)
+        if lc > current_lc:
+            self._data[obj] = (value, lc)
+            return True
+        return False
+
+    def items(self):
+        return self._data.items()
+
+    def keys(self):
+        return self._data.keys()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, obj: str) -> bool:
+        return obj in self._data
+
+
+class StoreServer(Node):
+    """A replica server holding a :class:`VersionedStore`.
+
+    Subclasses add protocol-specific handlers; the store survives
+    crash/recovery (stable storage), matching the availability model in
+    which an outage is an inability to communicate, not data loss.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        node_id: str,
+        clock: Optional[DriftingClock] = None,
+    ) -> None:
+        super().__init__(sim, network, node_id, clock=clock)
+        self.store = VersionedStore()
+        self.reads_served = 0
+        self.writes_served = 0

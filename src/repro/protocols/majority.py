@@ -1,0 +1,154 @@
+"""Majority-quorum replicated register (Gifford / Thomas).
+
+The classic strongly consistent baseline the paper compares against:
+
+* **read** — QRPC to a read quorum (majority by default); return the
+  reply with the highest logical clock.  One wide-area round trip.
+* **write** — QRPC to a read quorum to learn the highest logical clock,
+  advance it, then QRPC the value to a write quorum.  Two round trips —
+  the same write path as DQVL's IQS interaction, which is why Figure 6(b)
+  shows their write latencies converging.
+
+A single round-trip read gives *regular* semantics (a concurrent read
+may see either side of an in-flight write at different replicas, but
+always some completed-or-concurrent write).  Atomic semantics would need
+a read write-back phase; the paper targets regular semantics throughout,
+so none is performed here.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence
+
+from ..quorum.majority import MajorityQuorumSystem
+from ..quorum.qrpc import READ, WRITE, qrpc
+from ..quorum.system import QuorumSystem
+from ..sim.kernel import Simulator
+from ..sim.messages import Message
+from ..sim.network import Network
+from ..sim.node import Node
+from ..types import ZERO_LC, LogicalClock, ReadResult, WriteResult
+from .base import StoreServer
+
+__all__ = ["MajorityServer", "MajorityClient", "MajorityCluster", "build_majority_cluster"]
+
+
+class MajorityServer(StoreServer):
+    """A quorum replica: versioned store plus logical-clock bookkeeping."""
+
+    def __init__(self, sim, network, node_id, clock=None) -> None:
+        super().__init__(sim, network, node_id, clock=clock)
+        self.logical_clock = ZERO_LC
+
+    def on_mq_lc(self, msg: Message) -> None:
+        """Serve the highest logical clock this replica has applied."""
+        self.reply(msg, payload={"lc": self.logical_clock})
+
+    def on_mq_read(self, msg: Message) -> None:
+        self.reads_served += 1
+        value, lc = self.store.get(msg["obj"])
+        self.reply(msg, payload={"obj": msg["obj"], "value": value, "lc": lc})
+
+    def on_mq_write(self, msg: Message) -> None:
+        self.writes_served += 1
+        lc: LogicalClock = msg["lc"]
+        self.store.apply(msg["obj"], msg["value"], lc)
+        self.logical_clock = self.logical_clock.merge(lc)
+        self.reply(msg, payload={"obj": msg["obj"], "lc": lc})
+
+
+class MajorityClient(Node):
+    """Client of the majority-quorum register."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        node_id: str,
+        system: QuorumSystem,
+        qrpc_config: Optional[Dict[str, Any]] = None,
+        prefer: Optional[str] = None,
+    ) -> None:
+        super().__init__(sim, network, node_id)
+        self.system = system
+        self.qrpc_config = dict(qrpc_config or {})
+        self.prefer = prefer
+        self._lc_seen = ZERO_LC
+
+    def _config(self) -> Dict[str, Any]:
+        cfg = dict(self.qrpc_config)
+        cfg.setdefault("prefer", self.prefer)
+        return cfg
+
+    def read(self, obj: str):
+        start = self.sim.now
+        replies = yield from qrpc(
+            self, self.system, READ, "mq_read", {"obj": obj}, **self._config()
+        )
+        best = max(replies.values(), key=lambda r: r["lc"])
+        self._lc_seen = self._lc_seen.merge(best["lc"])
+        return ReadResult(
+            key=obj,
+            value=best["value"],
+            lc=best["lc"],
+            start_time=start,
+            end_time=self.sim.now,
+            client=self.node_id,
+            server=best.src,
+        )
+
+    def write(self, obj: str, value: Any):
+        start = self.sim.now
+        replies = yield from qrpc(self, self.system, READ, "mq_lc", {}, **self._config())
+        highest = max((r["lc"] for r in replies.values()), default=ZERO_LC)
+        lc = max(highest, self._lc_seen).next(self.node_id)
+        self._lc_seen = lc
+        yield from qrpc(
+            self, self.system, WRITE, "mq_write",
+            {"obj": obj, "value": value, "lc": lc}, **self._config(),
+        )
+        return WriteResult(
+            key=obj,
+            value=value,
+            lc=lc,
+            start_time=start,
+            end_time=self.sim.now,
+            client=self.node_id,
+        )
+
+
+class MajorityCluster:
+    """Handles to a majority-quorum deployment."""
+
+    def __init__(self, sim, network, servers, system, qrpc_config) -> None:
+        self.sim = sim
+        self.network = network
+        self.servers = servers
+        self.system = system
+        self.qrpc_config = qrpc_config
+
+    def client(self, node_id: str, prefer: Optional[str] = None) -> MajorityClient:
+        return MajorityClient(
+            self.sim, self.network, node_id, self.system,
+            qrpc_config=self.qrpc_config, prefer=prefer,
+        )
+
+    def server(self, node_id: str) -> MajorityServer:
+        return next(s for s in self.servers if s.node_id == node_id)
+
+
+def build_majority_cluster(
+    sim: Simulator,
+    network: Network,
+    server_ids: Sequence[str],
+    system: Optional[QuorumSystem] = None,
+    qrpc_config: Optional[Dict[str, Any]] = None,
+) -> MajorityCluster:
+    """Build a majority-quorum register over *server_ids*.
+
+    Pass a custom *system* (e.g. a grid quorum) to reuse the same server
+    and client logic with a different quorum construction.
+    """
+    system = system or MajorityQuorumSystem(list(server_ids))
+    servers = [MajorityServer(sim, network, node_id) for node_id in server_ids]
+    return MajorityCluster(sim, network, servers, system, dict(qrpc_config or {}))

@@ -1,0 +1,175 @@
+"""Primary/backup replication (Alsberg & Day).
+
+One designated **primary** orders all operations; **backups** hold
+replicas for durability and read-only failover is *not* modelled (a
+backup serving reads without coordination would break the consistency
+guarantee this baseline is meant to represent).
+
+* **read** — forwarded to the primary; one round trip to wherever the
+  primary lives (a WAN hop for most edge clients — the reason DQVL beats
+  this baseline by >6x on read latency in Figure 6(a)).
+* **write** — one round trip to the primary.  The primary applies the
+  write, acknowledges, and propagates the update to the backups in the
+  background.  This matches the paper's accounting ("only one round trip
+  is needed for primary/backup and ROWA") and the classic primary-copy
+  scheme in which the primary is the single source of truth and the
+  backups trail it.
+
+Because the primary serializes everything, clients observe atomic (and
+therefore regular) semantics while the primary is reachable; when it is
+not, the service is simply unavailable (no failover protocol — the paper
+treats primary-election machinery as out of scope and its availability
+model charges primary/backup accordingly).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from ..sim.kernel import Simulator
+from ..sim.messages import Message
+from ..sim.network import Network
+from ..sim.node import Node, RpcTimeout
+from ..types import ZERO_LC, LogicalClock, ReadResult, WriteResult
+from .base import StoreServer
+
+__all__ = [
+    "PrimaryServer",
+    "BackupServer",
+    "PrimaryBackupClient",
+    "PrimaryBackupCluster",
+    "build_primary_backup_cluster",
+]
+
+
+class PrimaryServer(StoreServer):
+    """The primary: orders writes, serves reads, feeds the backups."""
+
+    def __init__(self, sim, network, node_id, backup_ids: Sequence[str], clock=None) -> None:
+        super().__init__(sim, network, node_id, clock=clock)
+        self.backup_ids = list(backup_ids)
+        self._counter = 0
+        self.updates_propagated = 0
+
+    def on_pb_read(self, msg: Message) -> None:
+        self.reads_served += 1
+        value, lc = self.store.get(msg["obj"])
+        self.reply(msg, payload={"obj": msg["obj"], "value": value, "lc": lc})
+
+    def on_pb_write(self, msg: Message) -> None:
+        self.writes_served += 1
+        self._counter += 1
+        lc = LogicalClock(self._counter, self.node_id)
+        self.store.apply(msg["obj"], msg["value"], lc)
+        self.reply(msg, payload={"obj": msg["obj"], "lc": lc})
+        # Background propagation: one update message per backup, no ack
+        # awaited (the primary remains the authority for reads).
+        for backup in self.backup_ids:
+            self.updates_propagated += 1
+            self.send(backup, "pb_sync", {"obj": msg["obj"], "value": msg["value"], "lc": lc})
+
+
+class BackupServer(StoreServer):
+    """A backup: applies the primary's update stream."""
+
+    def on_pb_sync(self, msg: Message) -> None:
+        self.store.apply(msg["obj"], msg["value"], msg["lc"])
+
+
+class PrimaryBackupClient(Node):
+    """Routes every operation to the primary, with bounded retries."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        node_id: str,
+        primary_id: str,
+        rpc_timeout_ms: float = 2000.0,
+        max_attempts: Optional[int] = None,
+    ) -> None:
+        super().__init__(sim, network, node_id)
+        self.primary_id = primary_id
+        self.rpc_timeout_ms = rpc_timeout_ms
+        self.max_attempts = max_attempts
+
+    def _call_primary(self, kind: str, payload: dict):
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                reply = yield self.call(
+                    self.primary_id, kind, payload, timeout=self.rpc_timeout_ms
+                )
+                return reply
+            except RpcTimeout:
+                if self.max_attempts is not None and attempts >= self.max_attempts:
+                    raise
+
+    def read(self, obj: str):
+        start = self.sim.now
+        reply = yield from self._call_primary("pb_read", {"obj": obj})
+        return ReadResult(
+            key=obj,
+            value=reply["value"],
+            lc=reply["lc"],
+            start_time=start,
+            end_time=self.sim.now,
+            client=self.node_id,
+            server=reply.src,
+        )
+
+    def write(self, obj: str, value: Any):
+        start = self.sim.now
+        reply = yield from self._call_primary("pb_write", {"obj": obj, "value": value})
+        return WriteResult(
+            key=obj,
+            value=value,
+            lc=reply["lc"],
+            start_time=start,
+            end_time=self.sim.now,
+            client=self.node_id,
+        )
+
+
+class PrimaryBackupCluster:
+    """Handles to a primary/backup deployment."""
+
+    def __init__(self, sim, network, primary, backups, rpc_timeout_ms, max_attempts) -> None:
+        self.sim = sim
+        self.network = network
+        self.primary = primary
+        self.backups = backups
+        self.rpc_timeout_ms = rpc_timeout_ms
+        self.max_attempts = max_attempts
+
+    @property
+    def servers(self):
+        return [self.primary] + list(self.backups)
+
+    def client(self, node_id: str, prefer: Optional[str] = None) -> PrimaryBackupClient:
+        # `prefer` is accepted for interface uniformity; primary/backup
+        # cannot exploit locality — every request goes to the primary,
+        # which is exactly the behaviour Figure 7(b) demonstrates.
+        return PrimaryBackupClient(
+            self.sim, self.network, node_id, self.primary.node_id,
+            rpc_timeout_ms=self.rpc_timeout_ms, max_attempts=self.max_attempts,
+        )
+
+
+def build_primary_backup_cluster(
+    sim: Simulator,
+    network: Network,
+    server_ids: Sequence[str],
+    primary_id: Optional[str] = None,
+    rpc_timeout_ms: float = 2000.0,
+    max_attempts: Optional[int] = None,
+) -> PrimaryBackupCluster:
+    """Build a primary/backup deployment; the first id is the primary
+    unless *primary_id* says otherwise."""
+    server_ids = list(server_ids)
+    primary_id = primary_id or server_ids[0]
+    backup_ids = [s for s in server_ids if s != primary_id]
+    primary = PrimaryServer(sim, network, primary_id, backup_ids)
+    backups = [BackupServer(sim, network, node_id) for node_id in backup_ids]
+    return PrimaryBackupCluster(sim, network, primary, backups, rpc_timeout_ms, max_attempts)

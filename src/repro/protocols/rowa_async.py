@@ -1,0 +1,231 @@
+"""ROWA-Async: epidemic replication with local reads and writes.
+
+The weakly consistent baseline (Bayou-style).  Both operations complete
+at the client's nearest replica in a single LAN round trip:
+
+* **read** — served from the local replica's current state, stale or not;
+* **write** — applied locally, acknowledged immediately, then propagated
+  asynchronously: an eager best-effort push to every peer, backed by
+  periodic **anti-entropy** sessions (push-pull digests with a random
+  peer) that heal losses and partitions.
+
+This is the protocol family whose latency/availability DQVL aims to
+match — *without* inheriting its weakness: reads here can return stale
+data with **no staleness bound whatsoever**, and the consistency checker
+(:mod:`repro.consistency`) demonstrates concrete regular-semantics
+violations under cross-node access (see the consistency-audit example).
+
+Conflict resolution is last-writer-wins on (local-clock, node-id)
+timestamps, as in the paper's epidemic references.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..sim.kernel import Simulator
+from ..sim.messages import Message
+from ..sim.network import Network
+from ..sim.node import Node, RpcTimeout
+from ..types import ZERO_LC, LogicalClock, ReadResult, WriteResult
+from .base import StoreServer, lamport_from_clock
+
+__all__ = [
+    "RowaAsyncServer",
+    "RowaAsyncClient",
+    "RowaAsyncCluster",
+    "build_rowa_async_cluster",
+]
+
+
+class RowaAsyncServer(StoreServer):
+    """An epidemic replica: local apply, eager push, anti-entropy."""
+
+    def __init__(
+        self,
+        sim,
+        network,
+        node_id,
+        peer_ids: Sequence[str],
+        gossip_interval_ms: float = 1000.0,
+        eager_push: bool = True,
+        clock=None,
+    ) -> None:
+        super().__init__(sim, network, node_id, clock=clock)
+        self.peer_ids = [p for p in peer_ids if p != node_id]
+        self.gossip_interval_ms = gossip_interval_ms
+        self.eager_push = eager_push
+        self._counter = 0
+        self.gossip_rounds = 0
+        self.updates_pushed = 0
+        if self.peer_ids and gossip_interval_ms > 0:
+            # Desynchronise gossip across replicas.
+            self.after(self.sim.rng.uniform(0, gossip_interval_ms), self._gossip_tick)
+
+    # -- client operations ---------------------------------------------------
+
+    def on_ra_read(self, msg: Message) -> None:
+        self.reads_served += 1
+        value, lc = self.store.get(msg["obj"])
+        self.reply(msg, payload={"obj": msg["obj"], "value": value, "lc": lc})
+
+    def on_ra_write(self, msg: Message) -> None:
+        self.writes_served += 1
+        self._counter += 1
+        lc = lamport_from_clock(self.clock.now(), self.node_id)
+        _, current = self.store.get(msg["obj"])
+        if lc <= current:
+            lc = current.next(self.node_id)
+        self.store.apply(msg["obj"], msg["value"], lc)
+        self.reply(msg, payload={"obj": msg["obj"], "lc": lc})
+        if self.eager_push:
+            for peer in self.peer_ids:
+                self.updates_pushed += 1
+                self.send(peer, "ra_update", {"obj": msg["obj"], "value": msg["value"], "lc": lc})
+
+    # -- epidemic propagation ---------------------------------------------------
+
+    def on_ra_update(self, msg: Message) -> None:
+        self.store.apply(msg["obj"], msg["value"], msg["lc"])
+
+    def _gossip_tick(self) -> None:
+        if self.peer_ids:
+            peer = self.sim.rng.choice(self.peer_ids)
+            self.gossip_rounds += 1
+            digest = {obj: lc for obj, (value, lc) in self.store.items()}
+            self.send(peer, "ra_digest", {"digest": digest})
+        self.after(self.gossip_interval_ms, self._gossip_tick)
+
+    def on_ra_digest(self, msg: Message) -> None:
+        """Anti-entropy, responder side: push what the initiator lacks and
+        ask for what we lack."""
+        digest: Dict[str, LogicalClock] = msg["digest"]
+        want: List[str] = []
+        for obj, their_lc in digest.items():
+            _, ours = self.store.get(obj)
+            if their_lc > ours:
+                want.append(obj)
+        for obj, (value, lc) in list(self.store.items()):
+            if lc > digest.get(obj, ZERO_LC):
+                self.updates_pushed += 1
+                self.send(msg.src, "ra_update", {"obj": obj, "value": value, "lc": lc})
+        if want:
+            self.send(msg.src, "ra_pull", {"objects": want})
+
+    def on_ra_pull(self, msg: Message) -> None:
+        for obj in msg["objects"]:
+            value, lc = self.store.get(obj)
+            if lc > ZERO_LC or obj in self.store:
+                self.updates_pushed += 1
+                self.send(msg.src, "ra_update", {"obj": obj, "value": value, "lc": lc})
+
+
+class RowaAsyncClient(Node):
+    """Reads and writes the nearest replica; fails over on timeout.
+
+    Any replica can serve any operation in ROWA-Async — that is where
+    its availability comes from — so after a timeout the client retries
+    against a uniformly random *other* replica when ``fallback_replicas``
+    are configured.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        node_id: str,
+        replica_id: str,
+        rpc_timeout_ms: float = 2000.0,
+        max_attempts: Optional[int] = None,
+        fallback_replicas: Optional[Sequence[str]] = None,
+    ) -> None:
+        super().__init__(sim, network, node_id)
+        self.replica_id = replica_id
+        self.rpc_timeout_ms = rpc_timeout_ms
+        self.max_attempts = max_attempts
+        self.fallback_replicas = list(fallback_replicas or [])
+
+    def _call_replica(self, kind: str, payload: dict):
+        attempts = 0
+        target = self.replica_id
+        while True:
+            attempts += 1
+            try:
+                reply = yield self.call(
+                    target, kind, payload, timeout=self.rpc_timeout_ms
+                )
+                return reply
+            except RpcTimeout:
+                if self.max_attempts is not None and attempts >= self.max_attempts:
+                    raise
+                others = [r for r in self.fallback_replicas if r != target]
+                if others:
+                    target = self.sim.rng.choice(others)
+
+    def read(self, obj: str):
+        start = self.sim.now
+        reply = yield from self._call_replica("ra_read", {"obj": obj})
+        return ReadResult(
+            key=obj,
+            value=reply["value"],
+            lc=reply["lc"],
+            start_time=start,
+            end_time=self.sim.now,
+            client=self.node_id,
+            server=reply.src,
+        )
+
+    def write(self, obj: str, value: Any):
+        start = self.sim.now
+        reply = yield from self._call_replica("ra_write", {"obj": obj, "value": value})
+        return WriteResult(
+            key=obj,
+            value=value,
+            lc=reply["lc"],
+            start_time=start,
+            end_time=self.sim.now,
+            client=self.node_id,
+        )
+
+
+class RowaAsyncCluster:
+    """Handles to an epidemic deployment."""
+
+    def __init__(self, sim, network, servers, rpc_timeout_ms, max_attempts) -> None:
+        self.sim = sim
+        self.network = network
+        self.servers = servers
+        self.rpc_timeout_ms = rpc_timeout_ms
+        self.max_attempts = max_attempts
+
+    def client(self, node_id: str, prefer: Optional[str] = None) -> RowaAsyncClient:
+        replica = prefer or self.servers[0].node_id
+        return RowaAsyncClient(
+            self.sim, self.network, node_id, replica,
+            rpc_timeout_ms=self.rpc_timeout_ms, max_attempts=self.max_attempts,
+            fallback_replicas=[s.node_id for s in self.servers],
+        )
+
+    def server(self, node_id: str) -> RowaAsyncServer:
+        return next(s for s in self.servers if s.node_id == node_id)
+
+
+def build_rowa_async_cluster(
+    sim: Simulator,
+    network: Network,
+    server_ids: Sequence[str],
+    gossip_interval_ms: float = 1000.0,
+    eager_push: bool = True,
+    rpc_timeout_ms: float = 2000.0,
+    max_attempts: Optional[int] = None,
+) -> RowaAsyncCluster:
+    """Build an epidemic (ROWA-Async) deployment over *server_ids*."""
+    server_ids = list(server_ids)
+    servers = [
+        RowaAsyncServer(
+            sim, network, node_id, server_ids,
+            gossip_interval_ms=gossip_interval_ms, eager_push=eager_push,
+        )
+        for node_id in server_ids
+    ]
+    return RowaAsyncCluster(sim, network, servers, rpc_timeout_ms, max_attempts)

@@ -1,0 +1,33 @@
+"""Quorum systems and quorum-based RPC.
+
+The building blocks from which both the dual-quorum protocol (IQS/OQS)
+and the baseline quorum protocols are assembled.
+"""
+
+from .grid import GridQuorumSystem
+from .majority import MajorityQuorumSystem, SingleNodeQuorumSystem, binomial_tail
+from .qrpc import READ, WRITE, QrpcError, QuorumCall, qrpc
+from .rowa import RowaQuorumSystem
+from .system import (
+    QuorumSystem,
+    exact_quorum_availability,
+    monte_carlo_quorum_availability,
+)
+from .weighted import WeightedVotingSystem
+
+__all__ = [
+    "QuorumSystem",
+    "MajorityQuorumSystem",
+    "SingleNodeQuorumSystem",
+    "RowaQuorumSystem",
+    "GridQuorumSystem",
+    "WeightedVotingSystem",
+    "binomial_tail",
+    "exact_quorum_availability",
+    "monte_carlo_quorum_availability",
+    "QuorumCall",
+    "QrpcError",
+    "qrpc",
+    "READ",
+    "WRITE",
+]

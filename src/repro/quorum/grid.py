@@ -1,0 +1,146 @@
+"""Grid quorum system (Cheung, Ahamad, Ammar).
+
+Nodes are arranged column-wise on a logical grid of up to ``rows``
+rows and exactly ``cols`` columns; when ``rows * cols`` exceeds the
+node count the last column is simply shorter (a *ragged* grid), so any
+node count gets a sensible near-square layout — no degenerate ``1 × n``
+grids for prime sizes.
+
+* A **read quorum** is a *column cover*: one node from every column
+  (size ``cols``).
+* A **write quorum** is one complete column plus one node from every
+  other column (size ``len(column) + cols - 1``).
+
+Every read quorum intersects every write quorum (the write's full column
+meets the read's cover in that column), and write quorums intersect each
+other (each contains a cover, which meets the other's full column) —
+ragged or not, since the argument only uses columns as units.
+
+The paper's future-work section suggests a grid-quorum IQS to reduce
+system load; the A4 ablation benchmark exercises that configuration.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import FrozenSet, List, Optional, Sequence, Set
+
+from .system import QuorumSystem
+
+__all__ = ["GridQuorumSystem", "near_square_grid"]
+
+
+def near_square_grid(nodes: Sequence[str]) -> "GridQuorumSystem":
+    """A near-square (possibly ragged) grid over *nodes*."""
+    n = len(nodes)
+    rows = max(1, math.isqrt(n))
+    cols = math.ceil(n / rows)
+    return GridQuorumSystem(nodes, rows=rows, cols=cols)
+
+
+class GridQuorumSystem(QuorumSystem):
+    """Nodes laid out column-major on an (optionally ragged) grid."""
+
+    def __init__(self, nodes: Sequence[str], rows: int, cols: int) -> None:
+        if rows < 1 or cols < 1:
+            raise ValueError("grid dimensions must be positive")
+        if not (rows * (cols - 1) < len(nodes) <= rows * cols):
+            raise ValueError(
+                f"grid {rows}x{cols} fits {rows * (cols - 1) + 1}.."
+                f"{rows * cols} nodes, got {len(nodes)}"
+            )
+        super().__init__(nodes)
+        self.rows = rows
+        self.cols = cols
+        # Balanced column fill: columns differ in height by at most one.
+        # (A greedy fill could leave a final column of a single node,
+        # whose availability would then dominate every read quorum.)
+        base, extra = divmod(len(self.nodes), cols)
+        self._columns: List[List[str]] = []
+        start = 0
+        for c in range(cols):
+            height = base + (1 if c < extra else 0)
+            self._columns.append(list(self.nodes[start:start + height]))
+            start += height
+
+    def column_of(self, node: str) -> int:
+        """Grid column index of *node*."""
+        for c, col in enumerate(self._columns):
+            if node in col:
+                return c
+        raise ValueError(f"{node!r} is not in this grid")
+
+    # -- predicates ------------------------------------------------------------
+
+    def is_read_quorum(self, members: Set[str]) -> bool:
+        members = set(members)
+        return all(any(n in members for n in col) for col in self._columns)
+
+    def is_write_quorum(self, members: Set[str]) -> bool:
+        members = set(members)
+        if not self.is_read_quorum(members):
+            return False
+        return any(all(n in members for n in col) for col in self._columns)
+
+    # -- selection ----------------------------------------------------------------
+
+    def sample_read_quorum(self, rng, prefer: Optional[str] = None) -> FrozenSet[str]:
+        chosen = []
+        for c, col in enumerate(self._columns):
+            if prefer is not None and prefer in col:
+                chosen.append(prefer)
+            else:
+                chosen.append(rng.choice(col))
+        return frozenset(chosen)
+
+    def sample_write_quorum(self, rng, prefer: Optional[str] = None) -> FrozenSet[str]:
+        if prefer is not None and prefer in self.nodes:
+            full_col = self.column_of(prefer)
+        else:
+            full_col = rng.randrange(self.cols)
+        chosen: Set[str] = set(self._columns[full_col])
+        for c, col in enumerate(self._columns):
+            if c == full_col:
+                continue
+            if prefer is not None and prefer in col:
+                chosen.add(prefer)
+            else:
+                chosen.add(rng.choice(col))
+        return frozenset(chosen)
+
+    # -- sizes ------------------------------------------------------------------------
+
+    @property
+    def read_quorum_size(self) -> int:
+        return self.cols
+
+    @property
+    def write_quorum_size(self) -> int:
+        shortest = min(len(col) for col in self._columns)
+        return shortest + self.cols - 1
+
+    # -- closed-form availability -----------------------------------------------------
+
+    def read_availability(self, p: float) -> float:
+        """Every column has a live node: ``prod_c (1 - p^|col_c|)``."""
+        out = 1.0
+        for col in self._columns:
+            out *= 1.0 - p ** len(col)
+        return out
+
+    def write_availability(self, p: float) -> float:
+        """Some column fully live *and* every column has a live node.
+
+        Columns are independent; per column let ``a_c = (1-p)^|col_c|``
+        (fully live) and ``b_c = 1 - p^|col_c|`` (has a live node,
+        ``a_c <= b_c``).  Then P = ``prod b_c - prod (b_c - a_c)`` —
+        all columns covered, minus the cases where no column is full.
+        """
+        covered = 1.0
+        covered_none_full = 1.0
+        for col in self._columns:
+            a = (1.0 - p) ** len(col)
+            b = 1.0 - p ** len(col)
+            covered *= b
+            covered_none_full *= b - a
+        return covered - covered_none_full

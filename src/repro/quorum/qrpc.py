@@ -1,0 +1,249 @@
+"""QRPC — quorum-based remote procedure call.
+
+Section 2 of the paper defines the primitive::
+
+    replies = QRPC(system, READ/WRITE, request)
+
+which sends *request* to nodes of the given quorum system and blocks
+until replies constituting the specified quorum have been gathered.
+
+This module implements QRPC as a kernel process, following the paper's
+prototype policy:
+
+* the request always goes to the **local node first** if it is a member
+  of the system;
+* enough additional nodes are selected **at random** to form a minimal
+  quorum;
+* on timeout, the request is retransmitted to a **freshly sampled
+  quorum**, with an **exponentially increasing** retransmission interval;
+* replies accumulate across attempts — QRPC completes as soon as the
+  responder set contains a full quorum.
+
+The DQVL read path needs a variation (Section 3.2): *different* requests
+to different nodes, looping until a protocol-level condition (the paper's
+"Condition C") becomes true rather than until a quorum of replies
+arrives.  :class:`QuorumCall` supports both through two hooks: a
+per-target request factory and a pluggable completion predicate.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Optional, Set, Tuple
+
+from ..sim.kernel import Future, any_of
+from ..sim.messages import Message
+from ..sim.node import Node
+from .system import QuorumSystem
+
+__all__ = ["READ", "WRITE", "QrpcError", "QuorumCall", "qrpc"]
+
+READ = "READ"
+WRITE = "WRITE"
+
+
+class QrpcError(Exception):
+    """QRPC gave up: the attempt budget was exhausted without a quorum.
+
+    The availability experiments treat this as the system *rejecting* the
+    request (the paper's availability definition counts exactly these
+    rejections).
+    """
+
+    def __init__(self, kind: str, attempts: int):
+        super().__init__(f"QRPC {kind!r} failed after {attempts} attempts")
+        self.kind = kind
+        self.attempts = attempts
+
+
+# A request factory maps a target node id to (kind, payload), or None to
+# skip the target entirely on this attempt.
+RequestFactory = Callable[[str], Optional[Tuple[str, Dict]]]
+
+
+class QuorumCall:
+    """One QRPC invocation, runnable as a kernel process.
+
+    Parameters
+    ----------
+    node:
+        The sending node (a service client or a server acting as one).
+    system:
+        Quorum system to contact.
+    mode:
+        ``READ`` or ``WRITE`` — which quorum flavour must respond.
+    request_for:
+        Per-target request factory (see :data:`RequestFactory`).
+    done:
+        Optional completion predicate over the accumulated replies
+        (``{node_id: Message}``).  Defaults to "the responders contain a
+        full quorum of the requested flavour".  DQVL's read path passes
+        its Condition-C check here.
+    initial_timeout_ms / backoff / max_timeout_ms:
+        Retransmission schedule (exponential, capped).
+    max_attempts:
+        Give up (raise :class:`QrpcError`) after this many rounds;
+        ``None`` retries forever, matching the basic asynchronous
+        protocol in which a write "can block for an arbitrarily long
+        period of time".
+    prefer:
+        Node id to include in every sampled quorum when possible (e.g.
+        a front end's co-located replica).  Defaults to the sender
+        itself when it is a member of the system — the paper's
+        "always transmit to the local node" policy.
+    """
+
+    def __init__(
+        self,
+        node: Node,
+        system: QuorumSystem,
+        mode: str,
+        request_for: RequestFactory,
+        done: Optional[Callable[[Dict[str, Message]], bool]] = None,
+        initial_timeout_ms: float = 400.0,
+        backoff: float = 2.0,
+        max_timeout_ms: float = 6400.0,
+        max_attempts: Optional[int] = None,
+        prefer: Optional[str] = None,
+        sample_targets: Optional[Callable[[], FrozenSet[str]]] = None,
+        broadcast_after: int = 2,
+    ) -> None:
+        if mode not in (READ, WRITE):
+            raise ValueError(f"mode must be READ or WRITE, got {mode!r}")
+        self.node = node
+        self.system = system
+        self.mode = mode
+        self.request_for = request_for
+        #: with a custom completion predicate, a target's earlier reply
+        #: does not retire it: the paper's read-path variation "keeps
+        #: renewing from some irq" until Condition C holds, so targets
+        #: are re-queried on later attempts (request_for may still skip
+        #: them).  The default quorum-of-replies mode never re-asks a
+        #: responder.
+        self.resend_to_responders = done is not None
+        self.done = done or self._quorum_gathered
+        self.initial_timeout_ms = initial_timeout_ms
+        self.backoff = backoff
+        self.max_timeout_ms = max_timeout_ms
+        self.max_attempts = max_attempts
+        self.prefer = prefer
+        #: optional override of quorum selection (e.g. sticky quorums)
+        self.sample_targets = sample_targets
+        #: after this many unsuccessful attempts, send to *all* nodes —
+        #: the paper's "more aggressive implementation might send to all
+        #: nodes in system".  Decouples availability from sampling luck.
+        self.broadcast_after = broadcast_after
+        self.replies: Dict[str, Message] = {}
+        self.attempts = 0
+        self._completion: Optional[Future] = None
+
+    # -- default predicate ---------------------------------------------------
+
+    def _quorum_gathered(self, replies: Dict[str, Message]) -> bool:
+        members: Set[str] = set(replies)
+        if self.mode == READ:
+            return self.system.is_read_quorum(members)
+        return self.system.is_write_quorum(members)
+
+    # -- target selection -------------------------------------------------------
+
+    def _sample_targets(self) -> FrozenSet[str]:
+        if self.sample_targets is not None:
+            return self.sample_targets()
+        if self.attempts > self.broadcast_after:
+            return frozenset(self.system.nodes)
+        prefer = self.prefer
+        if prefer is None and self.node.node_id in self.system.nodes:
+            prefer = self.node.node_id
+        if prefer is not None and prefer not in self.system.nodes:
+            prefer = None
+        if self.attempts > 1:
+            # The paper: "retransmissions are each to a new randomly
+            # selected quorum" — pinning the (possibly dead) preferred
+            # node on retries would defeat the point.
+            prefer = None
+        if self.mode == READ:
+            return self.system.sample_read_quorum(self.node.sim.rng, prefer=prefer)
+        return self.system.sample_write_quorum(self.node.sim.rng, prefer=prefer)
+
+    # -- execution -----------------------------------------------------------------
+
+    def run(self):
+        """Kernel process: yields until done; returns the replies dict."""
+        sim = self.node.sim
+        interval = self.initial_timeout_ms
+        self._completion = sim.future(name=f"qrpc:{self.node.node_id}")
+
+        if self.done(self.replies):
+            # Degenerate but legal: the predicate may hold vacuously
+            # (e.g. DQVL finds its leases already valid).
+            return self.replies
+
+        while True:
+            self.attempts += 1
+            if self.max_attempts is not None and self.attempts > self.max_attempts:
+                raise QrpcError(self.mode, self.attempts - 1)
+
+            targets = self._sample_targets()
+            # Iterate in sorted order: target sets are frozensets, whose
+            # iteration order depends on the per-process string-hash
+            # seed; sending in hash order would make traces differ
+            # between processes with the same simulation seed.
+            for target in sorted(targets):
+                if target in self.replies and not self.resend_to_responders:
+                    continue
+                request = self.request_for(target)
+                if request is None:
+                    continue
+                kind, payload = request
+                future = self.node.call(target, kind, payload, timeout=interval)
+                future.add_callback(self._make_reply_handler(target))
+
+            winner_index, _ = yield any_of(sim, [self._completion, sim.sleep(interval)])
+            if winner_index == 0:
+                return self.replies
+            if self.done(self.replies):
+                # The predicate may have become true through replies that
+                # raced with the timeout sleep.
+                return self.replies
+            interval = min(interval * self.backoff, self.max_timeout_ms)
+
+    def _make_reply_handler(self, target: str) -> Callable[[Future], None]:
+        def handle(future: Future) -> None:
+            if future.failed:
+                return  # timeout or crash: the retransmission loop covers it
+            message: Message = future._value
+            if target not in self.replies or self.resend_to_responders:
+                self.replies[target] = message
+            if (
+                self._completion is not None
+                and not self._completion.done
+                and self.done(self.replies)
+            ):
+                self._completion.resolve(None)
+
+        return handle
+
+
+def qrpc(
+    node: Node,
+    system: QuorumSystem,
+    mode: str,
+    kind: str,
+    payload: Optional[Dict] = None,
+    **config,
+):
+    """The paper's plain ``QRPC(system, READ/WRITE, request)``.
+
+    Returns a generator suitable for ``yield node.spawn(...)`` or
+    ``yield from``; the result is ``{node_id: reply Message}`` containing
+    (at least) a full quorum of repliers.
+    """
+    payload = payload or {}
+    call = QuorumCall(
+        node,
+        system,
+        mode,
+        request_for=lambda target: (kind, dict(payload)),
+        **config,
+    )
+    return call.run()

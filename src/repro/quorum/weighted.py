@@ -1,0 +1,105 @@
+"""Gifford-style weighted voting.
+
+Each node holds an integral number of *votes*.  A read quorum is any set
+of nodes holding at least ``read_threshold`` votes; a write quorum any
+set holding at least ``write_threshold`` votes; intersection requires
+``read_threshold + write_threshold > total_votes``.
+
+Weighted voting subsumes the threshold systems (all weights 1) and lets
+operators bias quorum formation toward well-connected replicas — the
+flexibility the paper's related-work section credits to Gifford [12] and
+Garcia-Molina & Barbara [11].
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Sequence, Set
+
+from .system import QuorumSystem
+
+__all__ = ["WeightedVotingSystem"]
+
+
+class WeightedVotingSystem(QuorumSystem):
+    """Quorums defined by vote thresholds over weighted nodes."""
+
+    def __init__(
+        self,
+        votes: Dict[str, int],
+        read_threshold: int,
+        write_threshold: int,
+    ) -> None:
+        if not votes:
+            raise ValueError("votes must not be empty")
+        if any(v <= 0 for v in votes.values()):
+            raise ValueError("all vote counts must be positive")
+        super().__init__(sorted(votes))
+        self.votes = dict(votes)
+        self.total_votes = sum(votes.values())
+        if not 1 <= read_threshold <= self.total_votes:
+            raise ValueError("read_threshold out of range")
+        if not 1 <= write_threshold <= self.total_votes:
+            raise ValueError("write_threshold out of range")
+        if read_threshold + write_threshold <= self.total_votes:
+            raise ValueError(
+                "read_threshold + write_threshold must exceed total votes "
+                f"({read_threshold} + {write_threshold} <= {self.total_votes})"
+            )
+        self.read_threshold = read_threshold
+        self.write_threshold = write_threshold
+
+    def _vote_count(self, members: Set[str]) -> int:
+        return sum(self.votes.get(node, 0) for node in members)
+
+    def is_read_quorum(self, members: Set[str]) -> bool:
+        return self._vote_count(set(members)) >= self.read_threshold
+
+    def is_write_quorum(self, members: Set[str]) -> bool:
+        return self._vote_count(set(members)) >= self.write_threshold
+
+    def _sample(self, rng, threshold: int, prefer: Optional[str]) -> FrozenSet[str]:
+        """Greedy minimal-ish quorum: accumulate shuffled nodes until the
+        threshold is met, then drop members that are not needed."""
+        pool = list(self.nodes)
+        rng.shuffle(pool)
+        if prefer is not None and prefer in pool:
+            pool.remove(prefer)
+            pool.insert(0, prefer)
+        chosen: list = []
+        total = 0
+        for node in pool:
+            chosen.append(node)
+            total += self.votes[node]
+            if total >= threshold:
+                break
+        # prune redundant members (keep `prefer` when possible)
+        for node in sorted(chosen, key=lambda n: (n == prefer, self.votes[n])):
+            if total - self.votes[node] >= threshold:
+                chosen.remove(node)
+                total -= self.votes[node]
+        return frozenset(chosen)
+
+    def sample_read_quorum(self, rng, prefer: Optional[str] = None) -> FrozenSet[str]:
+        return self._sample(rng, self.read_threshold, prefer)
+
+    def sample_write_quorum(self, rng, prefer: Optional[str] = None) -> FrozenSet[str]:
+        return self._sample(rng, self.write_threshold, prefer)
+
+    @property
+    def read_quorum_size(self) -> int:
+        """Minimum number of nodes whose votes reach the read threshold."""
+        return self._min_nodes(self.read_threshold)
+
+    @property
+    def write_quorum_size(self) -> int:
+        return self._min_nodes(self.write_threshold)
+
+    def _min_nodes(self, threshold: int) -> int:
+        total = 0
+        for count, weight in enumerate(
+            sorted(self.votes.values(), reverse=True), start=1
+        ):
+            total += weight
+            if total >= threshold:
+                return count
+        return len(self.nodes)

@@ -1,0 +1,64 @@
+"""Deterministic discrete-event simulation substrate.
+
+This subpackage replaces the paper's physical testbed: a seeded event
+loop (:mod:`~repro.sim.kernel`), a wide-area network model with delay
+matrices and fault injection (:mod:`~repro.sim.network`), fail-stop nodes
+with drifting clocks (:mod:`~repro.sim.node`, :mod:`~repro.sim.clock`),
+failure schedules (:mod:`~repro.sim.failures`), and tracing
+(:mod:`~repro.sim.trace`).
+"""
+
+from .clock import DriftingClock, PerfectClock
+from .failures import BernoulliOutages, FailureSchedule, crash_for, partition_for
+from .kernel import (
+    Future,
+    Process,
+    ProcessFailure,
+    SimulationError,
+    Simulator,
+    Timer,
+    all_of,
+    any_of,
+)
+from .messages import Message
+from .network import (
+    ConstantDelay,
+    DelayModel,
+    JitteredDelay,
+    MatrixDelay,
+    Network,
+    NetworkStats,
+)
+from .node import Node, NodeCrashed, RpcTimeout
+from .trace import NULL_TRACER, NullTracer, TraceEvent, Tracer
+
+__all__ = [
+    "Simulator",
+    "Future",
+    "Process",
+    "Timer",
+    "SimulationError",
+    "ProcessFailure",
+    "all_of",
+    "any_of",
+    "Message",
+    "Network",
+    "NetworkStats",
+    "DelayModel",
+    "ConstantDelay",
+    "MatrixDelay",
+    "JitteredDelay",
+    "Node",
+    "NodeCrashed",
+    "RpcTimeout",
+    "DriftingClock",
+    "PerfectClock",
+    "FailureSchedule",
+    "BernoulliOutages",
+    "crash_for",
+    "partition_for",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "TraceEvent",
+]

@@ -1,0 +1,165 @@
+"""Failure injection utilities.
+
+The availability and fault-tolerance experiments need repeatable failure
+patterns.  This module provides:
+
+* :func:`crash_for` / :func:`partition_for` — one-shot scheduled faults;
+* :class:`FailureSchedule` — an explicit timeline of crash/recover and
+  partition/heal events, convenient for scenario tests;
+* :class:`BernoulliOutages` — per-epoch independent node outages with
+  probability *p*, the stochastic model behind the paper's availability
+  analysis (per-node unavailability ``p = 0.01``, independent failures).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .kernel import Simulator
+from .network import Network
+from .node import Node
+
+__all__ = [
+    "crash_for",
+    "partition_for",
+    "FailureEvent",
+    "FailureSchedule",
+    "BernoulliOutages",
+]
+
+
+def crash_for(sim: Simulator, node: Node, at: float, duration: float) -> None:
+    """Crash *node* at time *at* and recover it *duration* ms later."""
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    sim.schedule(at, node.crash)
+    sim.schedule(at + duration, node.recover)
+
+
+def partition_for(
+    sim: Simulator,
+    network: Network,
+    groups: Sequence[Iterable[str]],
+    at: float,
+    duration: float,
+) -> None:
+    """Partition the network into *groups* at *at*; heal *duration* ms later.
+
+    Healing removes *all* blocks, so overlapping partition windows should
+    use explicit :class:`FailureSchedule` events instead.
+    """
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    sim.schedule(at, lambda: network.partition(*groups))
+    sim.schedule(at + duration, network.heal)
+
+
+@dataclass
+class FailureEvent:
+    """One entry of a :class:`FailureSchedule`.
+
+    ``action`` is one of ``"crash"``, ``"recover"``, ``"partition"``,
+    ``"heal"``.  ``nodes`` names the crash/recover target(s);
+    ``groups`` supplies partition groups.
+    """
+
+    time: float
+    action: str
+    nodes: Tuple[str, ...] = ()
+    groups: Tuple[Tuple[str, ...], ...] = ()
+
+
+@dataclass
+class FailureSchedule:
+    """A declarative fault timeline, applied onto a simulator/network."""
+
+    events: List[FailureEvent] = field(default_factory=list)
+
+    def crash(self, time: float, *nodes: str) -> "FailureSchedule":
+        self.events.append(FailureEvent(time, "crash", nodes=tuple(nodes)))
+        return self
+
+    def recover(self, time: float, *nodes: str) -> "FailureSchedule":
+        self.events.append(FailureEvent(time, "recover", nodes=tuple(nodes)))
+        return self
+
+    def partition(self, time: float, *groups: Iterable[str]) -> "FailureSchedule":
+        self.events.append(
+            FailureEvent(time, "partition", groups=tuple(tuple(g) for g in groups))
+        )
+        return self
+
+    def heal(self, time: float) -> "FailureSchedule":
+        self.events.append(FailureEvent(time, "heal"))
+        return self
+
+    def install(self, sim: Simulator, network: Network) -> None:
+        """Schedule every event onto *sim* against *network*'s nodes."""
+        for event in self.events:
+            if event.action == "crash":
+                for node_id in event.nodes:
+                    sim.schedule(event.time, network.node(node_id).crash)
+            elif event.action == "recover":
+                for node_id in event.nodes:
+                    sim.schedule(event.time, network.node(node_id).recover)
+            elif event.action == "partition":
+                groups = event.groups
+                sim.schedule(event.time, lambda g=groups: network.partition(*g))
+            elif event.action == "heal":
+                sim.schedule(event.time, network.heal)
+            else:
+                raise ValueError(f"unknown failure action {event.action!r}")
+
+
+class BernoulliOutages:
+    """Independent per-epoch node outages.
+
+    Time is divided into epochs of ``epoch_ms``.  At the start of each
+    epoch every managed node is independently down with probability
+    ``p`` for the whole epoch.  This is the discrete analogue of the
+    paper's availability model (Section 4.2): node failures — server
+    crashes and network failures alike — are independent with marginal
+    unavailability *p*.
+
+    Use :meth:`start` to begin injecting; outages stop after
+    ``total_epochs`` epochs (or run forever when ``None``).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        nodes: Sequence[Node],
+        p: float,
+        epoch_ms: float,
+        total_epochs: Optional[int] = None,
+    ) -> None:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("p must be in [0, 1]")
+        if epoch_ms <= 0:
+            raise ValueError("epoch_ms must be positive")
+        self.sim = sim
+        self.nodes = list(nodes)
+        self.p = p
+        self.epoch_ms = epoch_ms
+        self.total_epochs = total_epochs
+        self.epochs_run = 0
+        self.outage_log: List[Tuple[float, str]] = []
+
+    def start(self, at: float = 0.0) -> None:
+        self.sim.schedule(at, self._epoch)
+
+    def _epoch(self) -> None:
+        if self.total_epochs is not None and self.epochs_run >= self.total_epochs:
+            for node in self.nodes:
+                node.recover()
+            return
+        self.epochs_run += 1
+        for node in self.nodes:
+            down = self.sim.rng.random() < self.p
+            if down and node.alive:
+                node.crash()
+                self.outage_log.append((self.sim.now, node.node_id))
+            elif not down and not node.alive:
+                node.recover()
+        self.sim.schedule(self.epoch_ms, self._epoch)

@@ -1,0 +1,383 @@
+"""Deterministic discrete-event simulation kernel.
+
+This module provides the substrate on which every protocol in this
+repository runs: a simulated clock, an event queue, and lightweight
+generator-based *processes* that can wait on :class:`Future` objects.
+
+The kernel is deliberately small and fully deterministic:
+
+* there is a single priority queue of events, ordered by
+  ``(time, sequence_number)``, so two events scheduled for the same
+  simulated instant always fire in the order they were scheduled;
+* all randomness used by a simulation flows through ``Simulator.rng``,
+  a single seeded :class:`random.Random`;
+* nothing in the kernel reads the wall clock.
+
+Processes are written as plain Python generators.  A process *yields*
+awaitables to suspend itself::
+
+    def handler(env):
+        yield env.sleep(5.0)              # wait 5 simulated ms
+        reply = yield rpc_future          # wait for a Future to resolve
+        result = yield env.spawn(child()) # wait for a child process
+
+Time units are **milliseconds** throughout the repository, matching the
+paper's delay parameters (8 ms LAN, 86 ms client WAN, 80 ms server WAN).
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "SimulationError",
+    "ProcessFailure",
+    "Future",
+    "Process",
+    "Timer",
+    "Simulator",
+    "all_of",
+    "any_of",
+]
+
+
+class SimulationError(Exception):
+    """Base class for errors raised by the simulation kernel."""
+
+
+class ProcessFailure(SimulationError):
+    """Raised when waiting on a process that terminated with an exception."""
+
+    def __init__(self, process: "Process", cause: BaseException):
+        super().__init__(f"process {process.name!r} failed: {cause!r}")
+        self.process = process
+        self.cause = cause
+
+
+class Future:
+    """A one-shot container for a value produced at a later simulated time.
+
+    A future starts *pending* and transitions exactly once to either
+    *resolved* (with a value) or *failed* (with an exception).  Processes
+    wait on futures by yielding them; plain callbacks can be attached with
+    :meth:`add_callback`.
+    """
+
+    __slots__ = ("_sim", "_done", "_value", "_exception", "_callbacks", "name")
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self._sim = sim
+        self._done = False
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self._callbacks: List[Callable[["Future"], None]] = []
+        self.name = name
+
+    # -- state inspection -------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        """True once the future has been resolved or failed."""
+        return self._done
+
+    @property
+    def failed(self) -> bool:
+        """True if the future completed with an exception."""
+        return self._done and self._exception is not None
+
+    @property
+    def value(self) -> Any:
+        """The resolved value.
+
+        Raises the stored exception if the future failed, and
+        :class:`SimulationError` if it is still pending.
+        """
+        if not self._done:
+            raise SimulationError(f"future {self.name!r} is still pending")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        """The stored exception, or ``None``."""
+        return self._exception
+
+    # -- completion -------------------------------------------------------
+
+    def resolve(self, value: Any = None) -> None:
+        """Complete the future with *value* and fire callbacks."""
+        if self._done:
+            raise SimulationError(f"future {self.name!r} resolved twice")
+        self._done = True
+        self._value = value
+        self._fire()
+
+    def fail(self, exception: BaseException) -> None:
+        """Complete the future with an exception and fire callbacks."""
+        if self._done:
+            raise SimulationError(f"future {self.name!r} resolved twice")
+        self._done = True
+        self._exception = exception
+        self._fire()
+
+    def try_resolve(self, value: Any = None) -> bool:
+        """Resolve if still pending; return whether this call completed it."""
+        if self._done:
+            return False
+        self.resolve(value)
+        return True
+
+    def add_callback(self, fn: Callable[["Future"], None]) -> None:
+        """Call ``fn(self)`` when the future completes.
+
+        If the future is already complete, the callback is scheduled to run
+        at the current simulated time (never synchronously), which keeps
+        event ordering deterministic.
+        """
+        if self._done:
+            self._sim.call_soon(fn, self)
+        else:
+            self._callbacks.append(fn)
+
+    def _fire(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            self._sim.call_soon(fn, self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "pending"
+        if self._done:
+            state = "failed" if self._exception is not None else "resolved"
+        return f"<Future {self.name!r} {state}>"
+
+
+class Process(Future):
+    """A running generator coroutine.
+
+    A process is itself a :class:`Future` that resolves with the
+    generator's return value (or fails with its uncaught exception), so
+    processes can wait on each other simply by yielding.
+    """
+
+    __slots__ = ("_generator",)
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = "") -> None:
+        super().__init__(sim, name or getattr(generator, "__name__", "process"))
+        self._generator = generator
+        sim.call_soon(self._step, None, None)
+
+    def _step(self, send_value: Any, throw_exc: Optional[BaseException]) -> None:
+        """Advance the generator by one yield."""
+        try:
+            if throw_exc is not None:
+                yielded = self._generator.throw(throw_exc)
+            else:
+                yielded = self._generator.send(send_value)
+        except StopIteration as stop:
+            self.resolve(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate into the future
+            self.fail(exc)
+            return
+
+        if not isinstance(yielded, Future):
+            self.fail(
+                SimulationError(
+                    f"process {self.name!r} yielded {yielded!r}; "
+                    "processes may only yield Future/Process objects"
+                )
+            )
+            return
+        yielded.add_callback(self._resume)
+
+    def _resume(self, future: Future) -> None:
+        if future.failed:
+            exc = future.exception
+            if isinstance(future, Process) and not isinstance(exc, ProcessFailure):
+                exc = ProcessFailure(future, exc)
+            self._step(None, exc)
+        else:
+            self._step(future._value, None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Process {self.name!r} {'done' if self.done else 'running'}>"
+
+
+class Timer:
+    """Handle for a scheduled callback; supports cancellation."""
+
+    __slots__ = ("_cancelled", "when")
+
+    def __init__(self, when: float) -> None:
+        self.when = when
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (idempotent)."""
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+
+class Simulator:
+    """The event loop: simulated clock plus a deterministic event queue.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the simulation-wide random number generator.  Two runs
+        with the same seed and the same inputs produce identical traces.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._now: float = 0.0
+        self._queue: List = []
+        self._sequence = 0
+        self.rng = random.Random(seed)
+        self.seed = seed
+        self._events_processed = 0
+
+    # -- clock ------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far (useful for budget assertions)."""
+        return self._events_processed
+
+    # -- scheduling -------------------------------------------------------
+
+    def schedule(self, delay: float, fn: Callable, *args: Any) -> Timer:
+        """Run ``fn(*args)`` after *delay* milliseconds; return a Timer."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        timer = Timer(self._now + delay)
+        self._sequence += 1
+        heapq.heappush(self._queue, (timer.when, self._sequence, timer, fn, args))
+        return timer
+
+    def call_soon(self, fn: Callable, *args: Any) -> Timer:
+        """Schedule ``fn(*args)`` at the current simulated time."""
+        return self.schedule(0.0, fn, *args)
+
+    def sleep(self, delay: float) -> Future:
+        """Return a future that resolves after *delay* milliseconds."""
+        future = Future(self, name=f"sleep({delay})")
+        self.schedule(delay, future.resolve, None)
+        return future
+
+    def future(self, name: str = "") -> Future:
+        """Create a fresh pending future bound to this simulator."""
+        return Future(self, name)
+
+    def spawn(self, generator: Generator, name: str = "") -> Process:
+        """Start a generator as a process; returns the Process future."""
+        return Process(self, generator, name)
+
+    # -- execution --------------------------------------------------------
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Execute events until the queue drains, *until* is reached, or
+        *max_events* have run.  Returns the simulated time afterwards.
+
+        When stopped by *until*, the clock is advanced exactly to *until*
+        so a subsequent ``run`` continues from there.
+        """
+        processed = 0
+        while self._queue:
+            when, _seq, timer, fn, args = self._queue[0]
+            if until is not None and when > until:
+                self._now = until
+                return self._now
+            if max_events is not None and processed >= max_events:
+                return self._now
+            heapq.heappop(self._queue)
+            if timer.cancelled:
+                continue
+            self._now = when
+            self._events_processed += 1
+            processed += 1
+            fn(*args)
+        if until is not None and until > self._now:
+            self._now = until
+        return self._now
+
+    def run_process(self, generator: Generator, name: str = "",
+                    until: Optional[float] = None) -> Any:
+        """Spawn *generator*, run the simulation, and return its result.
+
+        Convenience wrapper for tests and examples.  Raises the process's
+        exception if it failed, and :class:`SimulationError` if the event
+        queue drained before the process finished.
+        """
+        process = self.spawn(generator, name=name)
+        self.run(until=until)
+        if not process.done:
+            raise SimulationError(
+                f"process {process.name!r} did not finish "
+                f"(simulation {'reached time limit' if until is not None else 'drained'})"
+            )
+        return process.value
+
+
+def all_of(sim: Simulator, futures: Iterable[Future]) -> Future:
+    """Return a future resolving with a list of values once *all* complete.
+
+    If any input fails, the combined future fails with the first failure
+    (in completion order).
+    """
+    futures = list(futures)
+    result = Future(sim, name="all_of")
+    if not futures:
+        sim.call_soon(result.resolve, [])
+        return result
+    remaining = [len(futures)]
+
+    def on_done(_f: Future) -> None:
+        if result.done:
+            return
+        if _f.failed:
+            result.fail(_f.exception)
+            return
+        remaining[0] -= 1
+        if remaining[0] == 0:
+            result.resolve([f.value for f in futures])
+
+    for f in futures:
+        f.add_callback(on_done)
+    return result
+
+
+def any_of(sim: Simulator, futures: Iterable[Future]) -> Future:
+    """Return a future resolving with ``(index, value)`` of the first
+    completed input.  A failing input fails the combined future if nothing
+    has completed yet.
+    """
+    futures = list(futures)
+    if not futures:
+        raise SimulationError("any_of requires at least one future")
+    result = Future(sim, name="any_of")
+
+    def make_callback(index: int) -> Callable[[Future], None]:
+        def on_done(f: Future) -> None:
+            if result.done:
+                return
+            if f.failed:
+                result.fail(f.exception)
+            else:
+                result.resolve((index, f.value))
+
+        return on_done
+
+    for i, f in enumerate(futures):
+        f.add_callback(make_callback(i))
+    return result

@@ -1,0 +1,73 @@
+"""Message representation for the simulated network.
+
+Messages are small, immutable-ish records.  The ``kind`` string selects
+the handler on the receiving node (``on_<kind>``); ``payload`` carries the
+protocol-specific fields.  ``reply_to`` links a response back to the
+request that produced it, which is how :meth:`repro.sim.node.Node.call`
+implements request/response RPC on top of one-way sends.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+__all__ = ["Message"]
+
+_message_ids = itertools.count(1)
+
+
+@dataclass
+class Message:
+    """A single network message.
+
+    Attributes
+    ----------
+    src, dst:
+        Node identifiers (strings) of sender and receiver.
+    kind:
+        Handler selector, e.g. ``"inval"`` dispatches to ``on_inval``.
+    payload:
+        Protocol fields.  Treated as read-only by receivers.
+    msg_id:
+        Unique id assigned at construction; used for RPC correlation and
+        duplicate tracking.
+    reply_to:
+        ``msg_id`` of the request this message responds to, or ``None``.
+    send_time:
+        Simulated time at which the message entered the network.
+    """
+
+    src: str
+    dst: str
+    kind: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+    msg_id: int = field(default_factory=lambda: next(_message_ids))
+    reply_to: Optional[int] = None
+    send_time: float = 0.0
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Shorthand for ``payload.get``."""
+        return self.payload.get(key, default)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.payload[key]
+
+    def duplicate(self) -> "Message":
+        """A copy with a fresh ``msg_id`` (used by duplication injection).
+
+        The copy keeps ``reply_to`` so duplicated replies still correlate.
+        """
+        return Message(
+            src=self.src,
+            dst=self.dst,
+            kind=self.kind,
+            payload=dict(self.payload),
+            reply_to=self.reply_to,
+            send_time=self.send_time,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        reply = f" reply_to={self.reply_to}" if self.reply_to is not None else ""
+        return f"<Message #{self.msg_id} {self.kind} {self.src}->{self.dst}{reply}>"

@@ -1,0 +1,304 @@
+"""Simulated wide-area network.
+
+The network delivers :class:`~repro.sim.messages.Message` objects between
+registered nodes with configurable per-pair delays, and can inject the
+failure modes the paper's system model allows: message delay, loss,
+duplication, and reordering, plus network partitions.  Corrupted messages
+are assumed to be detected by checksums and silently dropped, so
+corruption is modelled identically to loss.
+
+Delay models
+------------
+Delays are supplied by a *delay model*: any object with a
+``delay(src, dst, rng) -> float`` method.  :class:`ConstantDelay`,
+:class:`MatrixDelay`, and :class:`JitteredDelay` cover the configurations
+used in the paper's evaluation; ``repro.edge.topology`` builds the
+paper's specific LAN/WAN matrix on top of :class:`MatrixDelay`.
+
+Statistics
+----------
+The network counts every message it accepts, per kind and per (src, dst)
+pair; the communication-overhead experiments (Figure 9) read these
+counters.  ``snapshot()``/``reset_counters()`` delimit measurement
+windows so warm-up traffic can be excluded.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Dict, Iterable, Optional, Set, Tuple
+
+from .kernel import Simulator
+from .messages import Message
+
+__all__ = [
+    "DelayModel",
+    "ConstantDelay",
+    "MatrixDelay",
+    "JitteredDelay",
+    "NetworkStats",
+    "Network",
+]
+
+
+class DelayModel:
+    """Interface for one-way delay computation (milliseconds)."""
+
+    def delay(self, src: str, dst: str, rng) -> float:
+        raise NotImplementedError
+
+
+class ConstantDelay(DelayModel):
+    """The same one-way delay for every pair of nodes."""
+
+    def __init__(self, delay_ms: float) -> None:
+        if delay_ms < 0:
+            raise ValueError("delay must be non-negative")
+        self.delay_ms = delay_ms
+
+    def delay(self, src: str, dst: str, rng) -> float:
+        return self.delay_ms
+
+
+class MatrixDelay(DelayModel):
+    """Per-pair delays from an explicit matrix, with a default fallback.
+
+    ``matrix`` maps ``(src, dst)`` to a one-way delay.  Lookups fall back
+    to ``(dst, src)`` (symmetric links) and then to ``default_ms``.
+    """
+
+    def __init__(self, matrix: Dict[Tuple[str, str], float], default_ms: float = 0.0) -> None:
+        self.matrix = dict(matrix)
+        self.default_ms = default_ms
+
+    def set(self, src: str, dst: str, delay_ms: float, symmetric: bool = True) -> None:
+        """Set the delay for a pair (and its reverse when *symmetric*)."""
+        self.matrix[(src, dst)] = delay_ms
+        if symmetric:
+            self.matrix[(dst, src)] = delay_ms
+
+    def delay(self, src: str, dst: str, rng) -> float:
+        if (src, dst) in self.matrix:
+            return self.matrix[(src, dst)]
+        if (dst, src) in self.matrix:
+            return self.matrix[(dst, src)]
+        return self.default_ms
+
+
+class JitteredDelay(DelayModel):
+    """Wrap another model, adding uniform jitter in ``[0, jitter_ms]``.
+
+    Jitter makes message *reordering* possible: two messages on the same
+    link may be delivered out of send order, which the paper's network
+    model explicitly permits.
+    """
+
+    def __init__(self, base: DelayModel, jitter_ms: float) -> None:
+        if jitter_ms < 0:
+            raise ValueError("jitter must be non-negative")
+        self.base = base
+        self.jitter_ms = jitter_ms
+
+    def delay(self, src: str, dst: str, rng) -> float:
+        return self.base.delay(src, dst, rng) + rng.uniform(0.0, self.jitter_ms)
+
+
+class NetworkStats:
+    """Counters for traffic accepted by the network.
+
+    Byte counters are populated when the network has a *size model*
+    (any callable ``Message -> int``); without one, only message counts
+    are tracked — the paper's Figure 9 accounting.
+    """
+
+    def __init__(self) -> None:
+        self.total_messages = 0
+        self.by_kind: Counter = Counter()
+        self.by_pair: Counter = Counter()
+        self.total_bytes = 0
+        self.bytes_by_kind: Counter = Counter()
+        self.dropped = 0
+        self.duplicated = 0
+
+    def record(self, message: Message, size: int = 0) -> None:
+        self.total_messages += 1
+        self.by_kind[message.kind] += 1
+        self.by_pair[(message.src, message.dst)] += 1
+        if size:
+            self.total_bytes += size
+            self.bytes_by_kind[message.kind] += size
+
+    def copy(self) -> "NetworkStats":
+        out = NetworkStats()
+        out.total_messages = self.total_messages
+        out.by_kind = Counter(self.by_kind)
+        out.by_pair = Counter(self.by_pair)
+        out.total_bytes = self.total_bytes
+        out.bytes_by_kind = Counter(self.bytes_by_kind)
+        out.dropped = self.dropped
+        out.duplicated = self.duplicated
+        return out
+
+    def diff(self, earlier: "NetworkStats") -> "NetworkStats":
+        """Counters accumulated since *earlier* (a prior ``copy()``)."""
+        out = NetworkStats()
+        out.total_messages = self.total_messages - earlier.total_messages
+        out.by_kind = self.by_kind - earlier.by_kind
+        out.by_pair = self.by_pair - earlier.by_pair
+        out.total_bytes = self.total_bytes - earlier.total_bytes
+        out.bytes_by_kind = self.bytes_by_kind - earlier.bytes_by_kind
+        out.dropped = self.dropped - earlier.dropped
+        out.duplicated = self.duplicated - earlier.duplicated
+        return out
+
+
+class Network:
+    """Routes messages between nodes over a delay model with fault injection.
+
+    Parameters
+    ----------
+    sim:
+        The simulation kernel used for scheduling deliveries.
+    delay_model:
+        One-way delay source; defaults to zero delay.
+    loss_probability:
+        Independent probability that any message is silently dropped.
+    duplicate_probability:
+        Independent probability that a message is delivered twice (the
+        second copy takes an independently drawn delay).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        delay_model: Optional[DelayModel] = None,
+        loss_probability: float = 0.0,
+        duplicate_probability: float = 0.0,
+        size_model: Optional[Callable[[Message], int]] = None,
+    ) -> None:
+        if not 0.0 <= loss_probability <= 1.0:
+            raise ValueError("loss_probability must be in [0, 1]")
+        if not 0.0 <= duplicate_probability <= 1.0:
+            raise ValueError("duplicate_probability must be in [0, 1]")
+        self.sim = sim
+        self.delay_model = delay_model or ConstantDelay(0.0)
+        self.loss_probability = loss_probability
+        self.duplicate_probability = duplicate_probability
+        #: optional Message -> bytes estimator for byte accounting
+        self.size_model = size_model
+        self.stats = NetworkStats()
+        self._nodes: Dict[str, "NodeLike"] = {}
+        self._blocked_pairs: Set[Tuple[str, str]] = set()
+        self._message_taps: list = []
+
+    # -- membership -------------------------------------------------------
+
+    def register(self, node: "NodeLike") -> None:
+        """Attach a node; its ``node_id`` becomes routable."""
+        if node.node_id in self._nodes:
+            raise ValueError(f"duplicate node id {node.node_id!r}")
+        self._nodes[node.node_id] = node
+
+    def node(self, node_id: str) -> "NodeLike":
+        return self._nodes[node_id]
+
+    @property
+    def node_ids(self) -> Iterable[str]:
+        return self._nodes.keys()
+
+    # -- partitions -------------------------------------------------------
+
+    def block(self, a: str, b: str, symmetric: bool = True) -> None:
+        """Drop all traffic from *a* to *b* (and back when symmetric)."""
+        self._blocked_pairs.add((a, b))
+        if symmetric:
+            self._blocked_pairs.add((b, a))
+
+    def unblock(self, a: str, b: str, symmetric: bool = True) -> None:
+        """Remove a block installed by :meth:`block` (idempotent)."""
+        self._blocked_pairs.discard((a, b))
+        if symmetric:
+            self._blocked_pairs.discard((b, a))
+
+    def partition(self, *groups: Iterable[str]) -> None:
+        """Partition the network into the given groups.
+
+        Traffic between nodes in different groups is dropped; traffic
+        within a group flows normally.  Nodes not named in any group are
+        unaffected.  Overwrites any previous partition state between the
+        named nodes.
+        """
+        group_sets = [set(g) for g in groups]
+        for i, ga in enumerate(group_sets):
+            for gb in group_sets[i + 1:]:
+                for a in ga:
+                    for b in gb:
+                        self.block(a, b)
+
+    def heal(self) -> None:
+        """Remove every partition/block."""
+        self._blocked_pairs.clear()
+
+    def is_blocked(self, src: str, dst: str) -> bool:
+        return (src, dst) in self._blocked_pairs
+
+    # -- observation ------------------------------------------------------
+
+    def add_tap(self, tap: Callable[[Message], None]) -> None:
+        """Register a callback observing every accepted message (tracing)."""
+        self._message_taps.append(tap)
+
+    def snapshot(self) -> NetworkStats:
+        """A copy of the counters, for window-based measurement."""
+        return self.stats.copy()
+
+    def reset_counters(self) -> None:
+        self.stats = NetworkStats()
+
+    # -- transmission -----------------------------------------------------
+
+    def send(self, message: Message) -> None:
+        """Accept a message for delivery (or inject a fault instead)."""
+        if message.dst not in self._nodes:
+            raise ValueError(f"unknown destination node {message.dst!r}")
+        message.send_time = self.sim.now
+        size = self.size_model(message) if self.size_model is not None else 0
+        self.stats.record(message, size)
+        for tap in self._message_taps:
+            tap(message)
+
+        if self.is_blocked(message.src, message.dst):
+            self.stats.dropped += 1
+            return
+        if self.loss_probability and self.sim.rng.random() < self.loss_probability:
+            self.stats.dropped += 1
+            return
+
+        self._schedule_delivery(message)
+        if self.duplicate_probability and self.sim.rng.random() < self.duplicate_probability:
+            self.stats.duplicated += 1
+            self._schedule_delivery(message.duplicate())
+
+    def _schedule_delivery(self, message: Message) -> None:
+        delay = self.delay_model.delay(message.src, message.dst, self.sim.rng)
+        self.sim.schedule(delay, self._deliver, message)
+
+    def _deliver(self, message: Message) -> None:
+        node = self._nodes.get(message.dst)
+        if node is None:  # pragma: no cover - node removal is not modelled
+            return
+        # Partitions that formed while the message was in flight also drop
+        # it: a partition severs the physical path.
+        if self.is_blocked(message.src, message.dst):
+            self.stats.dropped += 1
+            return
+        node.deliver(message)
+
+
+class NodeLike:
+    """Structural interface the network expects (see repro.sim.node)."""
+
+    node_id: str
+
+    def deliver(self, message: Message) -> None:  # pragma: no cover - interface
+        raise NotImplementedError

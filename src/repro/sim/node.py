@@ -1,0 +1,201 @@
+"""Base class for simulated protocol nodes.
+
+A :class:`Node` is a named participant attached to a
+:class:`~repro.sim.network.Network`.  It provides:
+
+* **message dispatch** — an incoming message of kind ``"foo"`` invokes the
+  method ``on_foo(message)``; if the handler returns a generator it is
+  spawned as a kernel process (so handlers can perform multi-round
+  protocol work, e.g. an OQS node validating a cache miss);
+* **request/response RPC** — :meth:`call` sends a message and returns a
+  future resolved by the matching reply (or failed by
+  :class:`RpcTimeout`), the primitive on which QRPC is built;
+* **fail-stop crashes** — :meth:`crash` silences the node (incoming
+  messages and timer callbacks are dropped, sends are suppressed);
+  :meth:`recover` brings it back and invokes the ``on_recover`` hook;
+* **safe timers** — :meth:`after` schedules callbacks that are
+  automatically suppressed while the node is crashed.
+
+Nodes never share memory: all inter-node interaction goes through the
+network, as required to make partition and crash experiments meaningful.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, Callable, Dict, Optional
+
+from .clock import DriftingClock, PerfectClock
+from .kernel import Future, Simulator, Timer
+from .messages import Message
+from .network import Network
+
+__all__ = ["RpcTimeout", "NodeCrashed", "Node"]
+
+
+class RpcTimeout(Exception):
+    """An RPC issued with :meth:`Node.call` exceeded its timeout."""
+
+    def __init__(self, src: str, dst: str, kind: str, timeout: float):
+        super().__init__(f"rpc {kind} {src}->{dst} timed out after {timeout} ms")
+        self.src = src
+        self.dst = dst
+        self.kind = kind
+        self.timeout = timeout
+
+
+class NodeCrashed(Exception):
+    """Raised when local work is attempted on a crashed node."""
+
+
+class Node:
+    """A simulated fail-stop server or client process.
+
+    Parameters
+    ----------
+    sim, network:
+        Kernel and network this node lives on; the node registers itself
+        with the network.
+    node_id:
+        Unique routable name.
+    clock:
+        Local real-time clock; defaults to a perfect (drift-free) clock.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        node_id: str,
+        clock: Optional[DriftingClock] = None,
+    ) -> None:
+        self.sim = sim
+        self.net = network
+        self.node_id = node_id
+        self.clock = clock or PerfectClock(sim)
+        self.alive = True
+        self._pending_rpcs: Dict[int, Future] = {}
+        self._crash_count = 0
+        network.register(self)
+
+    # -- identity ----------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "up" if self.alive else "down"
+        return f"<{type(self).__name__} {self.node_id} {state}>"
+
+    # -- sending ------------------------------------------------------------
+
+    def send(self, dst: str, kind: str, payload: Optional[Dict[str, Any]] = None,
+             reply_to: Optional[int] = None) -> Optional[Message]:
+        """Send a one-way message; returns it, or ``None`` if crashed."""
+        if not self.alive:
+            return None
+        message = Message(src=self.node_id, dst=dst, kind=kind,
+                          payload=payload or {}, reply_to=reply_to)
+        self.net.send(message)
+        return message
+
+    def reply(self, request: Message, kind: Optional[str] = None,
+              payload: Optional[Dict[str, Any]] = None) -> Optional[Message]:
+        """Respond to *request*; the reply correlates via ``reply_to``."""
+        return self.send(request.src, kind or (request.kind + "_reply"),
+                         payload, reply_to=request.msg_id)
+
+    def call(self, dst: str, kind: str, payload: Optional[Dict[str, Any]] = None,
+             timeout: Optional[float] = None) -> Future:
+        """Send a request and return a future for the reply message.
+
+        The future resolves with the reply :class:`Message`.  With a
+        *timeout*, the future fails with :class:`RpcTimeout` if no reply
+        arrives in time (late replies are then ignored).  Replies are
+        matched on the request's ``msg_id``, so duplicated replies resolve
+        the RPC once and extra copies are dropped.
+        """
+        future = self.sim.future(name=f"rpc:{kind}->{dst}")
+        if not self.alive:
+            self.sim.call_soon(future.fail, NodeCrashed(self.node_id))
+            return future
+        message = self.send(dst, kind, payload)
+        assert message is not None
+        self._pending_rpcs[message.msg_id] = future
+
+        if timeout is not None:
+            def on_timeout() -> None:
+                if self._pending_rpcs.pop(message.msg_id, None) is not None:
+                    future.fail(RpcTimeout(self.node_id, dst, kind, timeout))
+
+            self.sim.schedule(timeout, on_timeout)
+        return future
+
+    # -- receiving -----------------------------------------------------------
+
+    def deliver(self, message: Message) -> None:
+        """Entry point used by the network; dispatches or correlates."""
+        if not self.alive:
+            return
+        if message.reply_to is not None:
+            pending = self._pending_rpcs.pop(message.reply_to, None)
+            if pending is not None and not pending.done:
+                pending.resolve(message)
+            # Unmatched replies (late after timeout, or duplicates) are
+            # dropped: the protocol state machines never depend on them.
+            return
+        handler = getattr(self, "on_" + message.kind, None)
+        if handler is None:
+            raise AttributeError(
+                f"{type(self).__name__} {self.node_id} has no handler for "
+                f"message kind {message.kind!r}"
+            )
+        result = handler(message)
+        if inspect.isgenerator(result):
+            self.spawn(result, name=f"{self.node_id}:{message.kind}")
+
+    # -- timers & processes ---------------------------------------------------
+
+    def after(self, delay: float, fn: Callable, *args: Any) -> Timer:
+        """Schedule ``fn(*args)`` after *delay* ms, suppressed while crashed.
+
+        The callback is also suppressed if the node crashed and recovered
+        in between (recovery discards the pre-crash schedule, matching a
+        process restart).
+        """
+        epoch = self._crash_count
+
+        def guarded() -> None:
+            if self.alive and self._crash_count == epoch:
+                fn(*args)
+
+        return self.sim.schedule(delay, guarded)
+
+    def spawn(self, generator, name: str = ""):
+        """Spawn a kernel process on behalf of this node."""
+        return self.sim.spawn(generator, name=name or self.node_id)
+
+    # -- failure model -----------------------------------------------------
+
+    def crash(self) -> None:
+        """Fail-stop: drop pending RPCs, ignore messages and timers."""
+        if not self.alive:
+            return
+        self.alive = False
+        self._crash_count += 1
+        pending, self._pending_rpcs = self._pending_rpcs, {}
+        for future in pending.values():
+            if not future.done:
+                future.fail(NodeCrashed(self.node_id))
+
+    def recover(self) -> None:
+        """Restart after a crash; volatile state hooks run in ``on_recover``."""
+        if self.alive:
+            return
+        self.alive = True
+        self.on_recover()
+
+    def on_recover(self) -> None:
+        """Hook for subclasses to reinitialise volatile state."""
+
+    def check_alive(self) -> None:
+        """Raise :class:`NodeCrashed` if the node is down (guard for APIs)."""
+        if not self.alive:
+            raise NodeCrashed(self.node_id)

@@ -1,0 +1,81 @@
+"""Event tracing for simulations.
+
+A :class:`Tracer` collects a time-ordered log of interesting events
+(message sends, protocol decisions, fault injections) so tests can assert
+on protocol behaviour ("the second read was a hit — no renewal messages")
+and so examples can narrate what happened.
+
+Tracing is opt-in and cheap when disabled: protocol code calls
+``tracer.emit(...)`` through a shared no-op default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from .kernel import Simulator
+
+__all__ = ["TraceEvent", "Tracer", "NullTracer", "NULL_TRACER"]
+
+
+@dataclass
+class TraceEvent:
+    """One traced occurrence."""
+
+    time: float
+    source: str
+    category: str
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        extras = " ".join(f"{k}={v}" for k, v in self.details.items())
+        return f"[{self.time:10.2f} ms] {self.source:>12s} {self.category:<20s} {extras}"
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records in simulation order."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.events: List[TraceEvent] = []
+
+    def emit(self, source: str, category: str, **details: Any) -> None:
+        """Record an event at the current simulated time."""
+        self.events.append(TraceEvent(self.sim.now, source, category, details))
+
+    def filter(self, category: Optional[str] = None, source: Optional[str] = None) -> List[TraceEvent]:
+        """Events matching the given category and/or source."""
+        out = self.events
+        if category is not None:
+            out = [e for e in out if e.category == category]
+        if source is not None:
+            out = [e for e in out if e.source == source]
+        return list(out)
+
+    def count(self, category: str) -> int:
+        return sum(1 for e in self.events if e.category == category)
+
+    def dump(self, limit: Optional[int] = None) -> str:
+        """Human-readable rendering of the trace (for examples/debugging)."""
+        events = self.events if limit is None else self.events[:limit]
+        return "\n".join(str(e) for e in events)
+
+
+class NullTracer:
+    """A tracer that discards everything; safe shared default."""
+
+    def emit(self, source: str, category: str, **details: Any) -> None:
+        pass
+
+    def filter(self, category: Optional[str] = None, source: Optional[str] = None) -> List[TraceEvent]:
+        return []
+
+    def count(self, category: str) -> int:
+        return 0
+
+    def dump(self, limit: Optional[int] = None) -> str:
+        return ""
+
+
+NULL_TRACER = NullTracer()

@@ -1,0 +1,35 @@
+"""Workload generation and execution."""
+
+from .generators import (
+    BernoulliOpStream,
+    FixedKeyChooser,
+    KeyChooser,
+    MarkovBurstStream,
+    OpSpec,
+    PartitionedKeyChooser,
+    UniformKeyChooser,
+    ZipfKeyChooser,
+)
+from .replay import RecordingStream, ReplayStream, dump_trace, load_trace
+from .runner import closed_loop
+from .tpcw import TPCW_WRITE_RATIO, profile_key, profile_keys, tpcw_profile_stream
+
+__all__ = [
+    "OpSpec",
+    "KeyChooser",
+    "FixedKeyChooser",
+    "UniformKeyChooser",
+    "ZipfKeyChooser",
+    "PartitionedKeyChooser",
+    "BernoulliOpStream",
+    "MarkovBurstStream",
+    "closed_loop",
+    "RecordingStream",
+    "ReplayStream",
+    "dump_trace",
+    "load_trace",
+    "TPCW_WRITE_RATIO",
+    "profile_key",
+    "profile_keys",
+    "tpcw_profile_stream",
+]

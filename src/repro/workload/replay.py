@@ -1,0 +1,106 @@
+"""Workload recording and replay.
+
+Two uses:
+
+* **reproducible comparisons** — drive *different protocols with the
+  same operation sequence*, removing generator randomness from A/B
+  latency comparisons (the figure benches rely on fixed seeds instead;
+  replay is stricter);
+* **trace-driven workloads** — serialise a recorded stream to a plain
+  text format (one op per line) so interesting workloads can live in
+  the repository and be replayed exactly.
+
+The text format is intentionally trivial::
+
+    read <key>
+    write <key> <value>
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, TextIO
+
+from .generators import OpSpec, READ, WRITE
+
+__all__ = ["RecordingStream", "ReplayStream", "dump_trace", "load_trace"]
+
+
+class RecordingStream(Iterator[OpSpec]):
+    """Wraps a stream, remembering every op it yields."""
+
+    def __init__(self, inner: Iterator[OpSpec]) -> None:
+        self.inner = inner
+        self.recorded: List[OpSpec] = []
+
+    def __iter__(self) -> "RecordingStream":
+        return self
+
+    def __next__(self) -> OpSpec:
+        spec = next(self.inner)
+        self.recorded.append(spec)
+        return spec
+
+
+class ReplayStream(Iterator[OpSpec]):
+    """Yields a fixed operation sequence; optionally cycles."""
+
+    def __init__(self, ops: Iterable[OpSpec], cycle: bool = False) -> None:
+        self.ops = list(ops)
+        if not self.ops:
+            raise ValueError("cannot replay an empty trace")
+        self.cycle = cycle
+        self._index = 0
+
+    def __iter__(self) -> "ReplayStream":
+        return self
+
+    def __next__(self) -> OpSpec:
+        if self._index >= len(self.ops):
+            if not self.cycle:
+                raise StopIteration
+            self._index = 0
+        spec = self.ops[self._index]
+        self._index += 1
+        return spec
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+
+def dump_trace(ops: Iterable[OpSpec], fh: TextIO) -> int:
+    """Write ops to *fh* in the line format; returns the count.
+
+    Keys and values must not contain whitespace (enforced) — the format
+    favours greppability over generality.
+    """
+    count = 0
+    for spec in ops:
+        if any(ch.isspace() for ch in spec.key):
+            raise ValueError(f"key contains whitespace: {spec.key!r}")
+        if spec.kind == WRITE:
+            value = "" if spec.value is None else str(spec.value)
+            if any(ch.isspace() for ch in value):
+                raise ValueError(f"value contains whitespace: {value!r}")
+            fh.write(f"write {spec.key} {value}\n")
+        else:
+            fh.write(f"read {spec.key}\n")
+        count += 1
+    return count
+
+
+def load_trace(fh: TextIO) -> List[OpSpec]:
+    """Parse the line format back into OpSpecs (blank lines and ``#``
+    comments are ignored)."""
+    ops: List[OpSpec] = []
+    for line_number, raw in enumerate(fh, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if parts[0] == "read" and len(parts) == 2:
+            ops.append(OpSpec(READ, parts[1]))
+        elif parts[0] == "write" and len(parts) == 3:
+            ops.append(OpSpec(WRITE, parts[1], parts[2]))
+        else:
+            raise ValueError(f"line {line_number}: cannot parse {line!r}")
+    return ops

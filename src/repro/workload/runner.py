@@ -1,0 +1,76 @@
+"""Closed-loop workload execution.
+
+:func:`closed_loop` drives one client through an operation stream,
+recording every outcome (including rejections) into a shared
+:class:`~repro.consistency.history.History`.  It works against any
+object exposing ``read``/``write`` generator methods — application
+clients and raw protocol clients alike — so the same workloads power
+response-time, availability, and consistency experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..consistency.history import History
+from ..edge.frontend import OperationFailed
+from ..quorum.qrpc import QrpcError
+from ..sim.kernel import Simulator
+from ..sim.node import NodeCrashed, RpcTimeout
+from .generators import READ, OpSpec
+
+__all__ = ["closed_loop"]
+
+#: Exceptions that mean "the system rejected the request" rather than a
+#: bug: the paper's availability metric counts exactly these.
+REJECTION_ERRORS = (OperationFailed, QrpcError, RpcTimeout, NodeCrashed)
+
+
+def closed_loop(
+    sim: Simulator,
+    client,
+    stream: Iterator[OpSpec],
+    history: History,
+    num_ops: int,
+    think_time_ms: float = 0.0,
+    deadline_ms: Optional[float] = None,
+):
+    """Run *num_ops* operations back to back (kernel process).
+
+    Parameters
+    ----------
+    client:
+        Anything with ``read(key)`` / ``write(key, value)`` generators.
+    stream:
+        Source of :class:`~repro.workload.generators.OpSpec`.
+    history:
+        Shared history; failures are recorded with ``ok=False``.
+    think_time_ms:
+        Optional pause between operations (0 = paper's closed loop).
+    deadline_ms:
+        Stop issuing operations once the simulated clock passes this.
+
+    Returns the number of operations actually issued.
+    """
+    issued = 0
+    for _ in range(num_ops):
+        if deadline_ms is not None and sim.now >= deadline_ms:
+            break
+        spec = next(stream)
+        start = sim.now
+        issued += 1
+        try:
+            if spec.kind == READ:
+                result = yield from client.read(spec.key)
+                history.record_read(result)
+            else:
+                result = yield from client.write(spec.key, spec.value)
+                history.record_write(result)
+        except REJECTION_ERRORS:
+            history.record_failure(
+                spec.kind, spec.key, start, sim.now,
+                getattr(client, "node_id", "client"),
+            )
+        if think_time_ms > 0:
+            yield sim.sleep(think_time_ms)
+    return issued

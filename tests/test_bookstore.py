@@ -1,0 +1,422 @@
+"""Tests for the TPC-W edge bookstore application layer."""
+
+import pytest
+
+from repro.apps.bookstore import build_bookstore
+from repro.apps.bookstore.stores import (
+    CatalogNode,
+    CatalogOriginNode,
+    InventoryEdgeNode,
+    InventoryOriginNode,
+    OrderNode,
+    OrderOriginNode,
+)
+from repro.edge import EdgeTopology, EdgeTopologyConfig
+from repro.sim import ConstantDelay, Network, Simulator
+
+
+def make_topology(num_edges=3, seed=0):
+    sim = Simulator(seed=seed)
+    return EdgeTopology(sim, EdgeTopologyConfig(num_edges=num_edges, num_clients=1))
+
+
+class TestCatalog:
+    def make(self, seed=0, loss=0.0, resync=1_000.0):
+        sim = Simulator(seed=seed)
+        net = Network(sim, ConstantDelay(10.0), loss_probability=loss)
+        origin = CatalogOriginNode(
+            sim, net, "origin", ["e0", "e1", "e2"], resync_interval_ms=resync
+        )
+        edges = [CatalogNode(sim, net, f"e{i}", "origin") for i in range(3)]
+        return sim, net, origin, edges
+
+    def test_publish_reaches_every_edge(self):
+        sim, net, origin, edges = self.make()
+        origin.publish("book-1", {"price": 10})
+        sim.run(until=100.0)
+        for edge in edges:
+            assert edge.lookup("book-1") == (1, {"price": 10})
+
+    def test_versions_monotone_under_reordered_pushes(self):
+        sim, net, origin, edges = self.make()
+        origin.publish("book-1", {"price": 10})
+        origin.publish("book-1", {"price": 12})
+        sim.run(until=100.0)
+        for edge in edges:
+            version, data = edge.lookup("book-1")
+            assert version == 2 and data == {"price": 12}
+
+    def test_stale_update_ignored(self):
+        sim, net, origin, edges = self.make()
+        origin.publish("b", {"v": "new"})
+        sim.run(until=100.0)
+        # hand-deliver an old version directly
+        from repro.sim import Message
+
+        edges[0].deliver(Message(src="origin", dst="e0", kind="cat_update",
+                                 payload={"item": "b", "version": 0, "data": {"v": "old"}}))
+        sim.run(until=200.0)
+        assert edges[0].lookup("b")[1] == {"v": "new"}
+        assert edges[0].stale_updates_ignored == 1
+
+    def test_digest_resync_heals_total_loss(self):
+        sim, net, origin, edges = self.make(loss=0.0)
+        # block pushes to e2, publish, then heal: only the digest helps
+        net.block("origin", "e2", symmetric=False)
+        origin.publish("book-9", {"price": 99})
+        sim.run(until=100.0)
+        assert edges[2].lookup("book-9") == (0, None)
+        net.unblock("origin", "e2", symmetric=False)
+        sim.run(until=5_000.0)  # a few digest rounds
+        assert edges[2].lookup("book-9") == (1, {"price": 99})
+
+    def test_lookup_unknown_item(self):
+        sim, net, origin, edges = self.make()
+        assert edges[0].lookup("ghost") == (0, None)
+
+
+class TestOrders:
+    def make(self, seed=0, loss=0.0):
+        sim = Simulator(seed=seed)
+        net = Network(sim, ConstantDelay(10.0), loss_probability=loss)
+        origin = OrderOriginNode(sim, net, "origin")
+        edges = [
+            OrderNode(sim, net, f"e{i}", "origin", flush_interval_ms=200.0)
+            for i in range(3)
+        ]
+        return sim, net, origin, edges
+
+    def test_order_ids_unique_across_edges(self):
+        sim, net, origin, edges = self.make()
+        ids = {edge.submit("alice", "book-1") for edge in edges}
+        ids |= {edges[0].submit("bob", "book-2") for _ in range(3)}
+        assert len(ids) == 6
+
+    def test_orders_reach_origin(self):
+        sim, net, origin, edges = self.make()
+        for i, edge in enumerate(edges):
+            edge.submit(f"cust{i}", "book-1")
+        sim.run(until=5_000.0)
+        assert origin.order_count() == 3
+        assert all(edge.backlog == 0 for edge in edges)
+
+    def test_exactly_once_under_heavy_loss(self):
+        sim, net, origin, edges = self.make(seed=5, loss=0.4)
+        submitted = []
+        for k in range(20):
+            submitted.append(edges[k % 3].submit(f"cust{k}", "book-1"))
+        sim.run(until=120_000.0)
+        assert origin.order_count() == 20
+        assert {o["order_id"] for o in origin.orders()} == set(submitted)
+        # retransmissions happened, duplicates were dropped, backlog drained
+        assert all(edge.backlog == 0 for edge in edges)
+
+    def test_orders_sorted_by_acceptance(self):
+        sim, net, origin, edges = self.make()
+
+        def staged():
+            edges[0].submit("a", "x")
+            yield sim.sleep(500.0)
+            edges[1].submit("b", "y")
+
+        sim.run_process(staged(), until=5_000.0)
+        sim.run(until=5_000.0)
+        orders = origin.orders()
+        assert [o["customer"] for o in orders] == ["a", "b"]
+
+
+class TestInventory:
+    def make(self, stock, seed=0, batch=5, loss=0.0):
+        sim = Simulator(seed=seed)
+        net = Network(sim, ConstantDelay(10.0), loss_probability=loss)
+        origin = InventoryOriginNode(sim, net, "origin", stock, batch=batch)
+        edges = [InventoryEdgeNode(sim, net, f"e{i}", "origin") for i in range(3)]
+        return sim, net, origin, edges
+
+    def test_validation(self):
+        sim = Simulator(seed=0)
+        net = Network(sim, ConstantDelay(1.0))
+        with pytest.raises(ValueError):
+            InventoryOriginNode(sim, net, "o1", {"x": -1})
+        with pytest.raises(ValueError):
+            InventoryOriginNode(sim, net, "o2", {"x": 1}, batch=0)
+
+    def test_reserve_and_refill(self):
+        sim, net, origin, edges = self.make({"book-1": 20})
+
+        def scenario():
+            ok = yield from edges[0].reserve("book-1", 3)
+            return (ok, edges[0].approximate_count("book-1"))
+
+        ok, local = sim.run_process(scenario())
+        assert ok is True
+        assert local == 2  # batch of 5 granted, 3 sold
+        assert origin.remaining("book-1") == 15
+
+    def test_never_oversell_under_contention(self):
+        """The global invariant: sales across all edges never exceed
+        stock, however the concurrent buyers interleave."""
+        stock = 17
+        sim, net, origin, edges = self.make({"hot": stock}, seed=3)
+        results = []
+
+        def buyer(edge, attempts):
+            bought = 0
+            for _ in range(attempts):
+                ok = yield from edge.reserve("hot", 1)
+                if ok:
+                    bought += 1
+            results.append(bought)
+
+        procs = [sim.spawn(buyer(edge, 10)) for edge in edges]
+        sim.run(until=600_000.0)
+        assert all(p.done for p in procs)
+        total_sold = sum(results)
+        assert total_sold == sum(e.sold for e in edges)
+        assert total_sold <= stock
+        # and the system actually sells most of the stock (allotment
+        # fragmentation may strand a few units at other edges)
+        assert total_sold >= stock - 2 * len(edges)
+
+    def test_sold_out_returns_false(self):
+        sim, net, origin, edges = self.make({"rare": 1}, batch=1)
+
+        def scenario():
+            first = yield from edges[0].reserve("rare")
+            second = yield from edges[1].reserve("rare")
+            return (first, second)
+
+        assert sim.run_process(scenario()) == (True, False)
+
+    def test_unknown_item_is_sold_out(self):
+        sim, net, origin, edges = self.make({})
+
+        def scenario():
+            ok = yield from edges[0].reserve("ghost")
+            return ok
+
+        assert sim.run_process(scenario()) is False
+
+    def test_restock_and_release(self):
+        sim, net, origin, edges = self.make({"book": 0}, batch=2)
+
+        def scenario():
+            ok = yield from edges[0].reserve("book")
+            assert ok is False
+            origin.restock("book", 4)
+            ok = yield from edges[0].reserve("book")
+            edges[0].release("book", 1)
+            return (ok, edges[0].approximate_count("book"))
+
+        ok, local = sim.run_process(scenario())
+        assert ok is True
+        assert local == 2  # granted 2, sold 1, released 1
+        assert edges[0].sold == 0
+
+    def test_loss_never_breaks_invariant(self):
+        """Lost grants waste stock (safe direction) but never oversell."""
+        stock = 30
+        sim, net, origin, edges = self.make({"hot": stock}, seed=9, loss=0.3)
+
+        def buyer(edge):
+            bought = 0
+            for _ in range(12):
+                ok = yield from edge.reserve("hot", 1)
+                bought += 1 if ok else 0
+            return bought
+
+        procs = [sim.spawn(buyer(edge)) for edge in edges]
+        sim.run(until=600_000.0)
+        assert all(p.done for p in procs)
+        assert sum(p.value for p in procs) <= stock
+
+
+class TestBookstoreEndToEnd:
+    def build(self, seed=0, num_edges=3, stock=None):
+        topo = make_topology(num_edges=num_edges, seed=seed)
+        store = build_bookstore(
+            topo,
+            stock=stock or {"book-1": 50, "book-2": 10},
+            order_flush_ms=500.0,
+        )
+        return topo.sim, store
+
+    def test_purchase_happy_path(self):
+        sim, store = self.build()
+        svc = store.service_for_edge(1)
+
+        def scenario():
+            store.catalog_origin.publish("book-1", {"title": "DQ", "price": 30})
+            yield sim.sleep(500.0)
+            version, data = yield from svc.browse("book-1")
+            result = yield from svc.purchase("alice", "book-1")
+            profile = yield from svc.get_profile("alice")
+            return (version, data["price"], result.ok, profile)
+
+        version, price, ok, profile = sim.run_process(scenario(), until=600_000.0)
+        assert (version, price, ok) == (1, 30, True)
+        assert len(profile["history"]) == 1
+        sim.run(until=sim.now + 10_000.0)
+        assert store.orders_received() == 1
+
+    def test_profile_follows_customer_across_edges(self):
+        """The DQVL class in action: the customer buys at edge 0, then
+        appears at edge 2 — the profile history must be complete."""
+        sim, store = self.build()
+
+        def scenario():
+            r1 = yield from store.service_for_edge(0).purchase("bob", "book-1")
+            r2 = yield from store.service_for_edge(2).purchase("bob", "book-2")
+            profile = yield from store.service_for_edge(2).get_profile("bob")
+            return (r1.ok, r2.ok, profile["history"])
+
+        ok1, ok2, history = sim.run_process(scenario(), until=600_000.0)
+        assert ok1 and ok2
+        assert len(history) == 2
+
+    def test_out_of_stock_purchase_fails_cleanly(self):
+        sim, store = self.build(stock={"book-1": 1})
+        svc0 = store.service_for_edge(0)
+        svc1 = store.service_for_edge(1)
+
+        def scenario():
+            r1 = yield from svc0.purchase("a", "book-1")
+            r2 = yield from svc1.purchase("b", "book-1")
+            return (r1.ok, r2.ok, r2.reason)
+
+        ok1, ok2, reason = sim.run_process(scenario(), until=600_000.0)
+        assert ok1 is True and ok2 is False
+        assert reason == "out of stock"
+        assert store.units_sold() == 1
+
+    def test_concurrent_purchases_respect_stock(self):
+        stock = 12
+        sim, store = self.build(stock={"hot": stock}, seed=4)
+
+        def shopper(edge, customer):
+            bought = 0
+            for i in range(8):
+                result = yield from store.service_for_edge(edge).purchase(
+                    customer, "hot"
+                )
+                bought += 1 if result.ok else 0
+            return bought
+
+        procs = [
+            sim.spawn(shopper(k, f"cust{k}")) for k in range(3)
+        ]
+        sim.run(until=3_600_000.0)
+        assert all(p.done for p in procs)
+        total = sum(p.value for p in procs)
+        assert total <= stock
+        assert store.units_sold() == total
+        # every successful purchase becomes exactly one origin order
+        sim.run(until=sim.now + 20_000.0)
+        assert store.orders_received() == total
+        assert store.orders_accepted() == total
+
+    def test_profiles_are_regular_under_cross_edge_access(self):
+        from repro.consistency import History, check_regular
+
+        sim, store = self.build(seed=8)
+        history = History()
+
+        def shopper(customer, edges):
+            for k in edges:
+                svc = store.service_for_edge(k)
+                result = yield from svc.purchase(customer, "book-1")
+                profile_read = yield from svc.profiles.read(f"profile:{customer}")
+                history.record_read(profile_read)
+
+        procs = [
+            sim.spawn(shopper("carol", [0, 1, 2, 0])),
+            sim.spawn(shopper("dave", [2, 0, 1, 2])),
+        ]
+        sim.run(until=3_600_000.0)
+        assert all(p.done for p in procs)
+        # reads recorded only (writes go through purchase); assert no
+        # read observed a missing own-write: history growth is monotone
+        for proc_reads in ("carol", "dave"):
+            lengths = [
+                len(op.value.get("history", []))
+                for op in history.ops
+                if op.key == f"profile:{proc_reads}" and op.value
+            ]
+            assert lengths == sorted(lengths)
+
+class TestOriginOutage:
+    """The edge-service promise: the origin can vanish and the edges
+    keep serving — each object class degrades exactly as designed."""
+
+    def test_edges_survive_origin_outage(self):
+        topo = make_topology(num_edges=3, seed=12)
+        sim = topo.sim
+        store = build_bookstore(
+            topo, stock={"book": 30}, order_flush_ms=400.0, inventory_batch=5
+        )
+
+        def scenario():
+            # warm-up: catalog published, edges stocked, caches primed
+            store.catalog_origin.publish("book", {"price": 20})
+            yield sim.sleep(500.0)
+            svc = store.service_for_edge(1)
+            r1 = yield from svc.purchase("erin", "book")
+            assert r1.ok
+            pre_backlog = svc.orders.backlog
+
+            # the origin data centre drops off the network
+            topo.network.partition(
+                ["cat-origin", "ord-origin", "inv-origin"],
+                [n for n in topo.network.node_ids
+                 if n not in ("cat-origin", "ord-origin", "inv-origin")],
+            )
+
+            # catalog: still served from the edge cache (maybe stale)
+            version, data = yield from svc.browse("book")
+            assert (version, data["price"]) == (1, 20)
+
+            # inventory: sells from the local escrow allotment
+            r2 = yield from svc.purchase("erin", "book")
+            assert r2.ok, "escrowed stock must keep selling"
+
+            # orders: accepted locally, queued for the origin
+            backlog_during = svc.orders.backlog
+            assert backlog_during > 0
+
+            # profiles: DQVL runs entirely on the edges — unaffected
+            profile = yield from svc.get_profile("erin")
+            assert len(profile["history"]) == 2
+
+            # the origin returns; the order stream drains
+            topo.network.heal()
+            yield sim.sleep(10_000.0)
+            assert svc.orders.backlog == 0
+            return True
+
+        assert sim.run_process(scenario(), until=3_600_000.0) is True
+        assert store.orders_received() == store.orders_accepted()
+
+    def test_escrow_exhaustion_during_outage_fails_closed(self):
+        """When the local allotment runs out mid-outage, sales stop —
+        the never-oversell invariant is preserved, not availability."""
+        topo = make_topology(num_edges=2, seed=13)
+        sim = topo.sim
+        store = build_bookstore(topo, stock={"book": 20}, inventory_batch=2)
+
+        def scenario():
+            svc = store.service_for_edge(0)
+            r = yield from svc.purchase("frank", "book")
+            assert r.ok
+            topo.network.partition(
+                ["inv-origin"],
+                [n for n in topo.network.node_ids if n != "inv-origin"],
+            )
+            # allotment of 2: one unit left, then refills time out
+            r = yield from svc.purchase("frank", "book")
+            assert r.ok
+            r = yield from svc.purchase("frank", "book")
+            return r
+
+        result = sim.run_process(scenario(), until=3_600_000.0)
+        assert result.ok is False
+        assert store.units_sold() == 2

@@ -1,0 +1,62 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.harness.charts import ascii_chart
+
+
+class TestAsciiChart:
+    def test_empty_inputs(self):
+        assert ascii_chart([], {}) == "(no data)"
+        assert ascii_chart([1, 2], {}) == "(no data)"
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart([1, 2, 3], {"s": [1, 2]})
+
+    def test_basic_render_contains_everything(self):
+        out = ascii_chart(
+            [0, 1, 2], {"alpha": [1.0, 2.0, 3.0], "beta": [3.0, 2.0, 1.0]},
+            x_label="time", y_label="value", title="demo",
+        )
+        assert out.splitlines()[0] == "demo"
+        assert "o alpha" in out and "x beta" in out
+        assert "time" in out and "value" in out
+
+    def test_markers_placed_at_extremes(self):
+        out = ascii_chart([0, 1], {"s": [0.0, 10.0]}, width=20, height=5)
+        lines = out.splitlines()
+        rows = [l for l in lines if "|" in l]
+        # max lands on the top plot row, min on the bottom one
+        assert "o" in rows[0]
+        assert "o" in rows[-1]
+
+    def test_log_scale_spans_magnitudes(self):
+        out = ascii_chart(
+            [1, 2, 3], {"u": [1e-12, 1e-6, 1e-1]},
+            log_y=True, height=10,
+        )
+        assert "(log scale)" in out
+        assert "1e-12" in out
+        rows = [l for l in out.splitlines() if "|" in l]
+        # the three points occupy distinct rows (log spacing)
+        marked = [i for i, row in enumerate(rows) if "o" in row]
+        assert len(marked) == 3
+
+    def test_log_scale_clamps_zero(self):
+        out = ascii_chart([1, 2], {"u": [0.0, 1e-3]}, log_y=True)
+        assert "(no data)" not in out  # renders without error
+
+    def test_overlap_marker(self):
+        out = ascii_chart(
+            [0, 1], {"a": [1.0, 2.0], "b": [1.0, 5.0]}, width=10, height=5
+        )
+        assert "?" in out  # both series at (0, 1.0)
+
+    def test_constant_series(self):
+        out = ascii_chart([0, 1, 2], {"flat": [5.0, 5.0, 5.0]})
+        assert "o" in out
+
+    def test_single_x(self):
+        out = ascii_chart([7], {"s": [3.0]})
+        assert "o" in out

@@ -1,0 +1,142 @@
+"""Tests for the command-line interface and figure generators."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.harness.figures import FIGURES, generate_figure
+
+
+class TestFigureGenerators:
+    def test_registry_covers_all_panels(self):
+        assert set(FIGURES) == {
+            "fig6a", "fig6b", "fig7a", "fig7b",
+            "fig8a", "fig8b", "fig9a", "fig9b",
+        }
+
+    def test_unknown_figure(self):
+        with pytest.raises(KeyError):
+            generate_figure("fig99")
+
+    def test_analytic_figures_fast_and_shaped(self):
+        for name in ("fig8a", "fig8b", "fig9a", "fig9b"):
+            x_label, x_values, series = generate_figure(name)
+            assert len(x_values) >= 5
+            for ys in series.values():
+                assert len(ys) == len(x_values)
+
+    def test_simulated_figure_small_scale(self):
+        x_label, x_values, series = generate_figure("fig6a", ops=20, seed=1)
+        assert x_label == "metric"
+        assert set(series) == {
+            "dqvl", "majority", "primary_backup", "rowa", "rowa_async"
+        }
+
+
+class TestCli:
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_protocols_command(self, capsys):
+        assert main(["protocols"]) == 0
+        out = capsys.readouterr().out
+        assert "dqvl" in out and "fig6a" in out
+
+    def test_figure_command_table(self, capsys):
+        assert main(["figure", "fig9a"]) == 0
+        out = capsys.readouterr().out
+        assert "write_ratio" in out
+        assert "dqvl" in out
+
+    def test_figure_command_json(self, capsys):
+        assert main(["figure", "fig8b", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["figure"] == "fig8b"
+        assert "dqvl" in payload["series"]
+
+    def test_run_command_json(self, capsys):
+        assert main([
+            "run", "--protocol", "rowa", "--ops", "20",
+            "--write-ratio", "0.2", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["protocol"] == "rowa"
+        assert payload["requests"] == 60
+
+    def test_run_command_table(self, capsys):
+        assert main(["run", "--protocol", "rowa_async", "--ops", "10"]) == 0
+        assert "rowa_async" in capsys.readouterr().out
+
+    def test_run_rejects_unknown_protocol(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--protocol", "paxos"])
+
+    def test_availability_command(self, capsys):
+        assert main([
+            "availability", "--protocol", "rowa_async",
+            "--epochs", "20", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert 0.0 <= payload["measured_unavailability"] <= 1.0
+        assert payload["requests"] > 0
+
+
+class TestReport:
+    def test_report_analytic_subset(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        assert main([
+            "report", "--figures", "fig8a", "fig9b",
+            "--out", str(out), "--no-charts",
+        ]) == 0
+        text = out.read_text()
+        assert "# Dual-Quorum Replication" in text
+        assert "## fig8a" in text and "## fig9b" in text
+        assert "## fig6a" not in text
+
+    def test_report_with_charts(self, tmp_path):
+        out = tmp_path / "report.md"
+        from repro.harness.report import generate_report
+
+        path = generate_report(
+            out_path=str(out), figures=["fig9a"], charts=True
+        )
+        text = open(path).read()
+        assert "write_ratio" in text
+        assert "o dqvl" in text  # the chart legend
+
+    def test_report_unknown_figure(self):
+        from repro.harness.report import generate_report
+
+        with pytest.raises(KeyError):
+            generate_report(figures=["fig0x"])
+
+
+class TestSweep:
+    def test_sweep_table(self, capsys):
+        assert main([
+            "sweep", "--protocol", "rowa", "--write-ratios", "0.0", "0.5",
+            "--localities", "1.0", "--ops", "20",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "rowa" in out and "0.5" in out
+
+    def test_sweep_json_grid_shape(self, capsys):
+        assert main([
+            "sweep", "--protocol", "rowa_async",
+            "--write-ratios", "0.0", "0.3",
+            "--localities", "0.5", "1.0",
+            "--ops", "15", "--json", "--metric", "read",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["metric"] == "read"
+        assert len(payload["grid"]) == 2
+        assert all(len(v) == 2 for v in payload["grid"].values())
+
+    def test_sweep_msgs_metric(self, capsys):
+        assert main([
+            "sweep", "--protocol", "majority", "--write-ratios", "0.2",
+            "--localities", "1.0", "--ops", "15", "--metric", "msgs",
+        ]) == 0
+        assert "msgs" in capsys.readouterr().out

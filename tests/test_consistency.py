@@ -1,0 +1,228 @@
+"""Tests for the history recorder and the semantics checkers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.consistency import (
+    History,
+    check_atomic,
+    check_regular,
+    staleness_report,
+)
+from repro.consistency.history import Op
+from repro.types import ZERO_LC, LogicalClock, ReadResult, WriteResult
+
+
+def lc(n, node="w"):
+    return LogicalClock(n, node)
+
+
+def w(key, n, start, end, ok=True, client="c"):
+    return Op("write", key, f"v{n}", lc(n), start, end, client, ok)
+
+
+def r(key, n, start, end, ok=True, client="c"):
+    value = f"v{n}" if n else None
+    return Op("read", key, value, lc(n) if n else ZERO_LC, start, end, client, ok)
+
+
+def history_of(*ops):
+    h = History()
+    h.ops = list(ops)
+    return h
+
+
+class TestHistoryRecorder:
+    def test_record_and_query(self):
+        h = History()
+        h.record_write(WriteResult("x", "v", lc(1), 0.0, 10.0, client="c"))
+        h.record_read(ReadResult("x", "v", lc(1), 10.0, 20.0, client="c", hit=True))
+        h.record_failure("read", "y", 20.0, 30.0, "c")
+        assert len(h) == 3
+        assert h.keys() == ["x", "y"]
+        assert len(h.reads("x")) == 1
+        assert len(h.writes("x")) == 1
+        assert len(h.failures()) == 1
+        assert h.reads("x")[0].hit is True
+        assert len(list(h.successful())) == 2
+
+
+class TestRegularChecker:
+    def test_empty_history_ok(self):
+        assert check_regular(history_of()) == []
+
+    def test_read_of_initial_value_ok(self):
+        assert check_regular(history_of(r("x", 0, 0, 10))) == []
+
+    def test_read_of_last_completed_write_ok(self):
+        h = history_of(w("x", 1, 0, 10), r("x", 1, 20, 30))
+        assert check_regular(h) == []
+
+    def test_read_of_older_write_is_violation(self):
+        h = history_of(
+            w("x", 1, 0, 10),
+            w("x", 2, 20, 30),
+            r("x", 1, 40, 50),  # stale: write 2 completed at 30
+        )
+        violations = check_regular(h)
+        assert len(violations) == 1
+        assert violations[0].read.lc == lc(1)
+
+    def test_read_of_initial_after_write_is_violation(self):
+        h = history_of(w("x", 1, 0, 10), r("x", 0, 20, 30))
+        assert len(check_regular(h)) == 1
+
+    def test_concurrent_write_value_ok_either_way(self):
+        # read [15, 25] overlaps write2 [20, 30]
+        h_old = history_of(w("x", 1, 0, 10), w("x", 2, 20, 30), r("x", 1, 15, 25))
+        h_new = history_of(w("x", 1, 0, 10), w("x", 2, 20, 30), r("x", 2, 15, 25))
+        assert check_regular(h_old) == []
+        assert check_regular(h_new) == []
+
+    def test_unrelated_value_during_concurrency_is_violation(self):
+        h = history_of(
+            w("x", 1, 0, 10),
+            w("x", 2, 20, 30),
+            w("x", 3, 40, 50),
+            r("x", 1, 45, 55),  # concurrent with w3 only; w2 completed
+        )
+        assert len(check_regular(h)) == 1
+
+    def test_failed_write_may_be_observed_forever(self):
+        h = history_of(
+            w("x", 1, 0, 10),
+            w("x", 2, 20, 30, ok=False),  # timed out; effect unknown
+            r("x", 2, 100, 110),
+        )
+        assert check_regular(h) == []
+
+    def test_failed_read_not_checked(self):
+        h = history_of(w("x", 1, 0, 10), r("x", 9, 20, 30, ok=False))
+        assert check_regular(h) == []
+
+    def test_per_key_independence(self):
+        h = history_of(w("x", 1, 0, 10), r("y", 0, 20, 30))
+        assert check_regular(h) == []
+
+    def test_among_completed_writes_highest_clock_wins(self):
+        """Two writes both completed; the one with the higher clock is
+        the register's value even if it finished earlier in real time."""
+        h = history_of(
+            # w2 (higher clock) completes before w1 does
+            Op("write", "x", "v2", lc(2), 0.0, 5.0, "a"),
+            Op("write", "x", "v1", lc(1), 0.0, 20.0, "b"),
+            r("x", 2, 30, 40),
+        )
+        assert check_regular(h) == []
+        h_bad = history_of(
+            Op("write", "x", "v2", lc(2), 0.0, 5.0, "a"),
+            Op("write", "x", "v1", lc(1), 0.0, 20.0, "b"),
+            r("x", 1, 30, 40),
+        )
+        assert len(check_regular(h_bad)) == 1
+
+
+class TestAtomicChecker:
+    def test_regular_but_not_atomic(self):
+        """New-old inversion: r1 sees w2, then r2 (after r1) sees w1
+        while w2 is still in flight — regular allows it, atomic not."""
+        h = history_of(
+            w("x", 1, 0, 10),
+            Op("write", "x", "v2", lc(2), 20, 60, "b"),  # long write
+            r("x", 2, 25, 30),  # sees the concurrent write
+            r("x", 1, 35, 40),  # then an older value: inversion
+        )
+        assert check_regular(h) == []
+        violations = check_atomic(h)
+        assert len(violations) == 1
+        assert "inversion" in violations[0].reason
+
+    def test_atomic_history_passes(self):
+        h = history_of(
+            w("x", 1, 0, 10),
+            r("x", 1, 15, 20),
+            w("x", 2, 25, 35),
+            r("x", 2, 40, 45),
+        )
+        assert check_atomic(h) == []
+
+    def test_concurrent_reads_may_disagree(self):
+        h = history_of(
+            w("x", 1, 0, 10),
+            Op("write", "x", "v2", lc(2), 20, 60, "b"),
+            Op("read", "x", "v2", lc(2), 25, 45, "r1"),
+            Op("read", "x", "v1", lc(1), 30, 50, "r2"),  # overlaps r1
+        )
+        assert check_atomic(h) == []
+
+
+class TestStaleness:
+    def test_no_writes_no_staleness(self):
+        report = staleness_report(history_of(r("x", 0, 0, 10)))
+        assert report.stale_reads == 0
+        assert report.stale_fraction == 0.0
+
+    def test_stale_read_measured(self):
+        h = history_of(
+            w("x", 1, 0, 10),
+            w("x", 2, 20, 30),
+            r("x", 1, 100, 110),
+        )
+        report = staleness_report(h)
+        assert report.total_reads == 1
+        assert report.stale_reads == 1
+        assert report.max_staleness_ms == pytest.approx(70.0)  # 100 - 30
+        assert report.mean_version_lag == 1.0
+
+    def test_fresh_reads_not_stale(self):
+        h = history_of(w("x", 1, 0, 10), r("x", 1, 20, 30))
+        report = staleness_report(h)
+        assert report.stale_reads == 0
+
+
+# ---------------------------------------------------------------------------
+# property test: the checker accepts exactly the construction it defines
+# ---------------------------------------------------------------------------
+
+
+@given(
+    data=st.data(),
+    num_writes=st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=100, deadline=None)
+def test_property_reads_of_legal_values_always_accepted(data, num_writes):
+    """Construct sequential writes, then reads that return either the
+    last completed write or a concurrent one; the checker must accept."""
+    ops = []
+    t = 0.0
+    for n in range(1, num_writes + 1):
+        duration = data.draw(st.floats(min_value=1.0, max_value=20.0))
+        ops.append(w("x", n, t, t + duration))
+        t += duration + data.draw(st.floats(min_value=0.0, max_value=5.0))
+    # a read concurrent with nothing, after all writes
+    ops.append(r("x", num_writes, t + 1, t + 2))
+    # a read concurrent with the last write
+    last = ops[num_writes - 1]
+    mid = (last.start + last.end) / 2
+    choice = data.draw(st.sampled_from([num_writes, num_writes - 1]))
+    if choice:
+        ops.append(r("x", choice, mid, last.end + 1))
+    assert check_regular(history_of(*ops)) == []
+
+
+@given(
+    gap=st.floats(min_value=0.1, max_value=100.0),
+    stale_n=st.integers(min_value=1, max_value=3),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_strictly_stale_reads_always_rejected(gap, stale_n):
+    """A read strictly after 5 completed writes returning write #stale_n
+    (< 5) is always a violation."""
+    ops = []
+    t = 0.0
+    for n in range(1, 6):
+        ops.append(w("x", n, t, t + 1))
+        t += 1 + gap
+    ops.append(r("x", stale_n, t + gap, t + gap + 1))
+    assert len(check_regular(history_of(*ops))) == 1

@@ -1,0 +1,56 @@
+"""Smoke tests: every example must run to completion.
+
+Examples are documentation that executes; letting them rot defeats the
+point.  Each runs in a subprocess (as a user would run it) with a real
+time budget.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+EXAMPLES = sorted(
+    f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py")
+)
+
+
+def test_every_example_is_covered():
+    """If an example is added, it gets smoke-tested automatically."""
+    assert len(EXAMPLES) >= 6
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, (
+        f"{script} failed:\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{script} printed nothing"
+
+
+def test_quickstart_narrative():
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, "quickstart.py")],
+        capture_output=True, text=True, timeout=300,
+    )
+    out = result.stdout
+    assert "hit=True" in out and "hit=False" in out
+    assert "writes suppressed" in out
+
+
+def test_consistency_audit_shows_the_contrast():
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, "consistency_audit.py")],
+        capture_output=True, text=True, timeout=600,
+    )
+    out = result.stdout
+    assert "VIOLATIONS" in out  # ROWA-Async fails
+    assert "PASS" in out  # DQVL passes

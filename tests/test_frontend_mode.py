@@ -1,0 +1,53 @@
+"""Front-end-mode experiments: the full Figure 1 architecture.
+
+The figure benches use direct mode (the paper's measurement setup);
+these tests confirm the *conclusions* survive in the full architecture,
+where application clients reach front ends over the 8/86 ms links and
+the front ends' co-located service clients run the protocols.
+"""
+
+import pytest
+
+from repro.consistency import check_regular
+from repro.harness import ExperimentConfig, run_response_time
+
+
+def run(protocol, **kwargs):
+    defaults = dict(
+        protocol=protocol, mode="frontend", write_ratio=0.05,
+        ops_per_client=60, warmup_ops=8, seed=14,
+    )
+    defaults.update(kwargs)
+    return run_response_time(ExperimentConfig(**defaults))
+
+
+class TestFrontendMode:
+    def test_fig6a_conclusions_hold(self):
+        """DQVL's reads stay far below the strong baselines and near the
+        ROWA family when requests flow through front ends."""
+        results = {p: run(p) for p in
+                   ("dqvl", "majority", "primary_backup", "rowa", "rowa_async")}
+        reads = {p: r.summary.reads.median for p, r in results.items()}
+        assert reads["majority"] >= 6 * reads["dqvl"]
+        assert reads["primary_backup"] >= 4 * reads["dqvl"]
+        assert reads["dqvl"] <= 2 * reads["rowa"]
+        assert reads["dqvl"] <= 2 * reads["rowa_async"]
+
+    def test_dqvl_read_hit_latency_is_one_lan_round(self):
+        """App -> front end (8 ms each way) with a co-located OQS hit."""
+        result = run("dqvl", write_ratio=0.0)
+        assert result.summary.reads.median == pytest.approx(16.0)
+
+    @pytest.mark.parametrize("protocol", ["dqvl", "majority", "rowa"])
+    def test_regular_semantics_in_frontend_mode(self, protocol):
+        result = run(protocol, write_ratio=0.4, ops_per_client=50)
+        assert check_regular(result.full_history()) == []
+
+    def test_frontend_mode_with_redirection(self):
+        """Redirected requests (low locality) pay the client-WAN hop to a
+        distant front end; everything still completes and stays regular."""
+        result = run("dqvl", locality=0.6, write_ratio=0.2, ops_per_client=50)
+        assert check_regular(result.full_history()) == []
+        assert result.summary.overall.mean > run(
+            "dqvl", locality=1.0, write_ratio=0.2, ops_per_client=50
+        ).summary.overall.mean

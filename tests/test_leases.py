@@ -1,0 +1,228 @@
+"""Unit and property tests for the volume-lease state machines."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.leases import DelayedInval, IqsLeaseTable, OqsLeaseView
+from repro.types import ZERO_LC, LogicalClock
+
+
+def lc(n, node="w"):
+    return LogicalClock(n, node)
+
+
+class TestIqsLeaseTable:
+    def make(self, L=1000.0, drift=0.0, max_delayed=5):
+        return IqsLeaseTable(lease_length_ms=L, max_drift=drift, max_delayed=max_delayed)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IqsLeaseTable(lease_length_ms=0)
+        with pytest.raises(ValueError):
+            IqsLeaseTable(lease_length_ms=10, max_delayed=0)
+
+    def test_grant_records_conservative_expiry(self):
+        table = self.make(L=1000.0, drift=0.01)
+        grant = table.grant("v", "j", now=100.0, requestor_time=42.0)
+        assert grant.length_ms == 1000.0
+        assert grant.requestor_time == 42.0
+        assert table.expiry("v", "j") == pytest.approx(100.0 + 1010.0)
+
+    def test_never_granted_is_expired_with_neg_inf(self):
+        table = self.make()
+        assert table.expiry("v", "j") == float("-inf")
+        assert table.is_expired("v", "j", now=0.0)
+
+    def test_expiry_boundary_is_not_expired(self):
+        """At the exact expiry instant the granter still treats the lease
+        as live (the safe direction)."""
+        table = self.make(L=100.0)
+        table.grant("v", "j", now=0.0, requestor_time=0.0)
+        assert not table.is_expired("v", "j", now=100.0)
+        assert table.is_expired("v", "j", now=100.0001)
+
+    def test_delayed_invals_kept_until_acked(self):
+        table = self.make()
+        table.enqueue_delayed("v", "j", "a", lc(3))
+        table.enqueue_delayed("v", "j", "b", lc(5))
+        grant = table.grant("v", "j", now=0.0, requestor_time=0.0)
+        assert {d.obj for d in grant.delayed} == {"a", "b"}
+        # not cleared by the grant itself
+        assert table.delayed_count("v", "j") == 2
+        table.ack_delayed("v", "j", lc(4))
+        assert table.pending_delayed("v", "j") == {"b": lc(5)}
+        table.ack_delayed("v", "j", lc(5))
+        assert table.delayed_count("v", "j") == 0
+
+    def test_delayed_subsumption_keeps_max(self):
+        table = self.make()
+        table.enqueue_delayed("v", "j", "a", lc(7))
+        table.enqueue_delayed("v", "j", "a", lc(3))
+        assert table.pending_delayed("v", "j") == {"a": lc(7)}
+        assert table.has_delayed("v", "j", "a", lc(7))
+        assert not table.has_delayed("v", "j", "a", lc(8))
+
+    def test_queue_overflow_bumps_epoch(self):
+        table = self.make(max_delayed=3)
+        for i in range(4):
+            table.enqueue_delayed("v", "j", f"o{i}", lc(i + 1))
+        assert table.epoch("v", "j") == 1
+        assert table.delayed_count("v", "j") == 0
+        assert table.epoch_bumps == 1
+
+    def test_epoch_scoped_per_volume_node(self):
+        table = self.make()
+        table.bump_epoch("v", "j1")
+        assert table.epoch("v", "j1") == 1
+        assert table.epoch("v", "j2") == 0
+        assert table.epoch("w", "j1") == 0
+
+    def test_grant_carries_current_epoch(self):
+        table = self.make()
+        table.bump_epoch("v", "j")
+        grant = table.grant("v", "j", now=0.0, requestor_time=0.0)
+        assert grant.epoch == 1
+
+
+class TestOqsLeaseView:
+    def make_grant(self, volume="v", L=1000.0, epoch=0, delayed=(), t0=0.0):
+        from repro.core.leases import VolumeLeaseGrant
+
+        return VolumeLeaseGrant(
+            volume=volume, length_ms=L, epoch=epoch,
+            delayed=tuple(delayed), requestor_time=t0,
+        )
+
+    def test_grant_sets_conservative_expiry(self):
+        view = OqsLeaseView(max_drift=0.01)
+        view.apply_grant("i", self.make_grant(t0=100.0, L=1000.0))
+        assert view.volume_expiry("v", "i") == pytest.approx(100.0 + 990.0)
+        assert view.volume_valid("v", "i", now=1000.0)
+        assert not view.volume_valid("v", "i", now=1090.0)
+
+    def test_expiry_boundary_invalid_for_holder(self):
+        """At the exact expiry instant the holder treats the lease as
+        dead (the safe direction, opposite of the granter)."""
+        view = OqsLeaseView()
+        view.apply_grant("i", self.make_grant(t0=0.0, L=100.0))
+        assert view.volume_valid("v", "i", now=99.999)
+        assert not view.volume_valid("v", "i", now=100.0)
+
+    def test_reordered_grants_never_regress(self):
+        view = OqsLeaseView()
+        view.apply_grant("i", self.make_grant(t0=500.0, L=100.0, epoch=2))
+        view.apply_grant("i", self.make_grant(t0=100.0, L=100.0, epoch=1))
+        assert view.volume_expiry("v", "i") == pytest.approx(600.0)
+        assert view.volume_epoch("v", "i") == 2
+
+    def test_grant_applies_delayed_invalidations(self):
+        view = OqsLeaseView()
+        view.apply_renewal("i", "a", epoch=0, lc=lc(1))
+        grant = self.make_grant(delayed=[DelayedInval("a", lc(5))])
+        view.apply_grant("i", grant)
+        _, clock, valid = view.object_state("a", "i")
+        assert clock == lc(5) and not valid
+
+    def test_renewal_validates_unless_newer_inval_seen(self):
+        view = OqsLeaseView()
+        view.apply_invalidation("i", "a", lc(10))
+        assert view.apply_renewal("i", "a", epoch=0, lc=lc(7)) is False
+        _, clock, valid = view.object_state("a", "i")
+        assert clock == lc(10) and not valid
+        assert view.apply_renewal("i", "a", epoch=0, lc=lc(10)) is True
+        _, clock, valid = view.object_state("a", "i")
+        assert valid
+
+    def test_stale_invalidation_ignored(self):
+        view = OqsLeaseView()
+        view.apply_renewal("i", "a", epoch=0, lc=lc(10))
+        view.apply_invalidation("i", "a", lc(3))
+        _, clock, valid = view.object_state("a", "i")
+        assert clock == lc(10) and valid
+
+    def test_object_valid_requires_volume_and_epoch(self):
+        view = OqsLeaseView()
+        view.apply_grant("i", self.make_grant(t0=0.0, L=1000.0, epoch=0))
+        view.apply_renewal("i", "a", epoch=0, lc=lc(1))
+        assert view.object_valid("v", "a", "i", now=10.0)
+        # epoch bump invalidates every object lease under the volume
+        view.apply_grant("i", self.make_grant(t0=20.0, L=1000.0, epoch=1))
+        assert not view.object_valid("v", "a", "i", now=30.0)
+        # re-renewal under the new epoch revalidates
+        view.apply_renewal("i", "a", epoch=1, lc=lc(1))
+        assert view.object_valid("v", "a", "i", now=40.0)
+
+    def test_object_invalid_without_volume(self):
+        view = OqsLeaseView()
+        view.apply_renewal("i", "a", epoch=0, lc=lc(1))
+        assert not view.object_valid("v", "a", "i", now=0.0)
+
+    def test_valid_servers_and_best_clock(self):
+        view = OqsLeaseView()
+        for i, n in [("i1", 3), ("i2", 5)]:
+            view.apply_grant(i, self.make_grant(t0=0.0, L=1000.0))
+            view.apply_renewal(i, "a", epoch=0, lc=lc(n))
+        view.apply_invalidation("i3", "a", lc(9))
+        assert set(view.valid_servers("v", "a", ["i1", "i2", "i3"], now=1.0)) == {"i1", "i2"}
+        assert view.best_valid_clock("v", "a", ["i1", "i2", "i3"], now=1.0) == lc(5)
+        assert view.object_clock("a", "i3") == lc(9)
+
+
+# ---------------------------------------------------------------------------
+# property tests
+# ---------------------------------------------------------------------------
+
+
+@given(
+    entries=st.lists(
+        st.tuples(st.sampled_from(["a", "b", "c"]), st.integers(1, 50)),
+        min_size=1,
+        max_size=30,
+    ),
+    ack=st.integers(0, 50),
+)
+@settings(max_examples=150, deadline=None)
+def test_property_delayed_queue_subsumption_and_ack(entries, ack):
+    """The queue always holds exactly the per-object max clock of the
+    unacked invalidations."""
+    table = IqsLeaseTable(lease_length_ms=10.0, max_delayed=10_000)
+    expected = {}
+    for obj, n in entries:
+        table.enqueue_delayed("v", "j", obj, lc(n))
+        expected[obj] = max(expected.get(obj, ZERO_LC), lc(n))
+    table.ack_delayed("v", "j", lc(ack))
+    expected = {o: c for o, c in expected.items() if c > lc(ack)}
+    assert table.pending_delayed("v", "j") == expected
+
+
+@given(
+    drift=st.floats(min_value=0.0, max_value=0.1),
+    t0=st.floats(min_value=0.0, max_value=1e6),
+    grant_delay=st.floats(min_value=0.0, max_value=1e4),
+    L=st.floats(min_value=1.0, max_value=1e5),
+)
+@settings(max_examples=150, deadline=None)
+def test_property_holder_expiry_never_outlives_granter(drift, t0, grant_delay, L):
+    """With the two-sided drift corrections, the holder's (local) lease
+    window, converted through any admissible clock pair, ends no later
+    than the granter's recorded window.  Checked here in the worst case:
+    holder clock slowest, granter clock fastest."""
+    table = IqsLeaseTable(lease_length_ms=L, max_drift=drift)
+    view = OqsLeaseView(max_drift=drift)
+    # real time 0 = request send; grant processed grant_delay later
+    granter_now_local = (t0 + grant_delay) * (1 + drift)  # fastest granter
+    table.grant("v", "j", now=granter_now_local, requestor_time=t0)
+    from repro.core.leases import VolumeLeaseGrant
+
+    view.apply_grant(
+        "j-side",
+        VolumeLeaseGrant(volume="v", length_ms=L, epoch=0, delayed=(), requestor_time=t0),
+    )
+    # holder local expiry -> real time (slowest holder: local = real*(1-drift))
+    holder_local_expiry = view.volume_expiry("v", "j-side")
+    holder_real_expiry = (holder_local_expiry - t0) / (1 - drift) + t0 if drift < 1 else 0
+    # granter local expiry -> real time (fastest granter)
+    granter_local_expiry = table.expiry("v", "j")
+    granter_real_expiry = granter_local_expiry / (1 + drift)
+    assert granter_real_expiry >= holder_real_expiry - 1e-6

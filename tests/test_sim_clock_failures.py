@@ -1,0 +1,181 @@
+"""Unit tests for drifting clocks, failure schedules, and tracing."""
+
+import pytest
+
+from repro.sim import (
+    BernoulliOutages,
+    ConstantDelay,
+    DriftingClock,
+    FailureSchedule,
+    Network,
+    Node,
+    PerfectClock,
+    Simulator,
+    Tracer,
+    crash_for,
+    partition_for,
+)
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=3)
+
+
+class TestDriftingClock:
+    def test_perfect_clock_tracks_sim_time(self, sim):
+        clock = PerfectClock(sim)
+        sim.run(until=100.0)
+        assert clock.now() == 100.0
+
+    def test_fast_clock(self, sim):
+        clock = DriftingClock(sim, drift=0.01, max_drift=0.01)
+        sim.run(until=1000.0)
+        assert clock.now() == pytest.approx(1010.0)
+
+    def test_slow_clock_with_offset(self, sim):
+        clock = DriftingClock(sim, drift=-0.01, offset=5.0, max_drift=0.02)
+        sim.run(until=1000.0)
+        assert clock.now() == pytest.approx(995.0)
+
+    def test_drift_exceeding_bound_rejected(self, sim):
+        with pytest.raises(ValueError):
+            DriftingClock(sim, drift=0.05, max_drift=0.01)
+
+    def test_duration_conversions_roundtrip(self, sim):
+        clock = DriftingClock(sim, drift=0.004, max_drift=0.01)
+        assert clock.real_duration(clock.local_duration(123.0)) == pytest.approx(123.0)
+
+    def test_conservative_expiry_shortens(self, sim):
+        clock = DriftingClock(sim, drift=0.0, max_drift=0.05)
+        expiry = clock.conservative_expiry(100.0, 1000.0)
+        assert expiry == pytest.approx(100.0 + 950.0)
+
+    def test_lease_safety_under_worst_case_drift(self, sim):
+        """Granter-side (1+maxDrift) + holder-side (1-maxDrift) corrections
+        guarantee the granter never expires a lease before the holder, in
+        real time, for any drift pair within the bound."""
+        max_drift = 0.02
+        lease = 1000.0
+        for holder_drift in (-max_drift, 0.0, max_drift):
+            for granter_drift in (-max_drift, 0.0, max_drift):
+                holder = DriftingClock(sim, drift=holder_drift, max_drift=max_drift)
+                granter = DriftingClock(sim, drift=granter_drift, max_drift=max_drift)
+                # request sent at real time 0; grant processed at real time 0
+                holder_local_expiry = holder.now() + lease * (1 - max_drift)
+                granter_local_expiry = granter.now() + lease * (1 + max_drift)
+                # convert both to real durations
+                holder_real = holder.real_duration(holder_local_expiry - holder.now())
+                granter_real = granter.real_duration(granter_local_expiry - granter.now())
+                assert granter_real >= holder_real - 1e-9
+
+
+class TestFailureHelpers:
+    def _make_world(self, sim):
+        net = Network(sim, ConstantDelay(1.0))
+        nodes = [Node(sim, net, f"n{i}") for i in range(4)]
+        return net, nodes
+
+    def test_crash_for_window(self, sim):
+        net, nodes = self._make_world(sim)
+        crash_for(sim, nodes[0], at=10.0, duration=20.0)
+        sim.run(until=15.0)
+        assert not nodes[0].alive
+        sim.run(until=35.0)
+        assert nodes[0].alive
+
+    def test_crash_for_requires_positive_duration(self, sim):
+        net, nodes = self._make_world(sim)
+        with pytest.raises(ValueError):
+            crash_for(sim, nodes[0], at=0.0, duration=0.0)
+
+    def test_partition_for_window(self, sim):
+        net, nodes = self._make_world(sim)
+        partition_for(sim, net, [["n0", "n1"], ["n2", "n3"]], at=5.0, duration=10.0)
+        sim.run(until=6.0)
+        assert net.is_blocked("n0", "n2")
+        assert not net.is_blocked("n0", "n1")
+        sim.run(until=20.0)
+        assert not net.is_blocked("n0", "n2")
+
+    def test_failure_schedule(self, sim):
+        net, nodes = self._make_world(sim)
+        schedule = (
+            FailureSchedule()
+            .crash(5.0, "n0", "n1")
+            .recover(10.0, "n0")
+            .partition(12.0, ["n0"], ["n2", "n3"])
+            .heal(20.0)
+        )
+        schedule.install(sim, net)
+        sim.run(until=6.0)
+        assert not nodes[0].alive and not nodes[1].alive
+        sim.run(until=11.0)
+        assert nodes[0].alive and not nodes[1].alive
+        sim.run(until=13.0)
+        assert net.is_blocked("n0", "n3")
+        sim.run(until=21.0)
+        assert not net.is_blocked("n0", "n3")
+
+    def test_failure_schedule_unknown_action(self, sim):
+        net, nodes = self._make_world(sim)
+        schedule = FailureSchedule()
+        schedule.events.append(
+            type(schedule.events)() if False else None
+        )
+        # construct an invalid event directly
+        from repro.sim.failures import FailureEvent
+
+        schedule.events = [FailureEvent(0.0, "explode")]
+        with pytest.raises(ValueError):
+            schedule.install(sim, net)
+
+    def test_bernoulli_outages_marginal_rate(self, sim):
+        net, nodes = self._make_world(sim)
+        outages = BernoulliOutages(sim, nodes, p=0.3, epoch_ms=10.0, total_epochs=500)
+        down_epochs = [0]
+        original_epoch = outages._epoch
+
+        def counting_epoch():
+            original_epoch()
+            down_epochs[0] += sum(1 for n in nodes if not n.alive)
+
+        outages._epoch = counting_epoch
+        outages.start()
+        sim.run()
+        rate = down_epochs[0] / (500 * len(nodes))
+        assert 0.2 < rate < 0.4
+
+    def test_bernoulli_outages_recover_at_end(self, sim):
+        net, nodes = self._make_world(sim)
+        outages = BernoulliOutages(sim, nodes, p=0.9, epoch_ms=10.0, total_epochs=5)
+        outages.start()
+        sim.run()
+        assert all(n.alive for n in nodes)
+
+    def test_bernoulli_rejects_bad_params(self, sim):
+        net, nodes = self._make_world(sim)
+        with pytest.raises(ValueError):
+            BernoulliOutages(sim, nodes, p=2.0, epoch_ms=10.0)
+        with pytest.raises(ValueError):
+            BernoulliOutages(sim, nodes, p=0.5, epoch_ms=0.0)
+
+
+class TestTracer:
+    def test_emit_and_filter(self, sim):
+        tracer = Tracer(sim)
+        tracer.emit("n0", "read_hit", obj="x")
+        sim.run(until=5.0)
+        tracer.emit("n1", "read_miss", obj="y")
+        assert tracer.count("read_hit") == 1
+        assert tracer.filter(category="read_miss")[0].source == "n1"
+        assert tracer.filter(source="n0")[0].details["obj"] == "x"
+        assert "read_hit" in tracer.dump()
+
+    def test_null_tracer_is_silent(self):
+        from repro.sim import NULL_TRACER
+
+        NULL_TRACER.emit("x", "y", z=1)
+        assert NULL_TRACER.count("y") == 0
+        assert NULL_TRACER.filter() == []
+        assert NULL_TRACER.dump() == ""

@@ -1,0 +1,320 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim.kernel import (
+    Future,
+    ProcessFailure,
+    SimulationError,
+    Simulator,
+    all_of,
+    any_of,
+)
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=42)
+
+
+class TestScheduling:
+    def test_time_starts_at_zero(self, sim):
+        assert sim.now == 0.0
+
+    def test_schedule_runs_at_right_time(self, sim):
+        fired = []
+        sim.schedule(10.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [10.0]
+
+    def test_events_run_in_time_order(self, sim):
+        order = []
+        sim.schedule(30.0, lambda: order.append("c"))
+        sim.schedule(10.0, lambda: order.append("a"))
+        sim.schedule(20.0, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_events_fifo(self, sim):
+        order = []
+        for i in range(10):
+            sim.schedule(5.0, lambda i=i: order.append(i))
+        sim.run()
+        assert order == list(range(10))
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_cancelled_timer_does_not_fire(self, sim):
+        fired = []
+        timer = sim.schedule(5.0, lambda: fired.append(1))
+        timer.cancel()
+        sim.run()
+        assert fired == []
+        assert timer.cancelled
+
+    def test_run_until_stops_and_advances_clock(self, sim):
+        fired = []
+        sim.schedule(100.0, lambda: fired.append(1))
+        sim.run(until=50.0)
+        assert sim.now == 50.0
+        assert fired == []
+        sim.run()
+        assert fired == [1]
+        assert sim.now == 100.0
+
+    def test_run_until_exact_boundary_runs_event(self, sim):
+        fired = []
+        sim.schedule(50.0, lambda: fired.append(1))
+        sim.run(until=50.0)
+        assert fired == [1]
+
+    def test_max_events_limit(self, sim):
+        count = []
+        for _ in range(10):
+            sim.call_soon(lambda: count.append(1))
+        sim.run(max_events=3)
+        assert len(count) == 3
+
+    def test_events_processed_counter(self, sim):
+        for _ in range(5):
+            sim.call_soon(lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+    def test_nested_scheduling(self, sim):
+        times = []
+
+        def outer():
+            times.append(sim.now)
+            sim.schedule(5.0, inner)
+
+        def inner():
+            times.append(sim.now)
+
+        sim.schedule(10.0, outer)
+        sim.run()
+        assert times == [10.0, 15.0]
+
+    def test_determinism_same_seed(self):
+        def run_once(seed):
+            sim = Simulator(seed=seed)
+            trace = []
+
+            def proc():
+                for _ in range(20):
+                    yield sim.sleep(sim.rng.uniform(0, 10))
+                    trace.append(round(sim.now, 6))
+
+            sim.run_process(proc())
+            return trace
+
+        assert run_once(7) == run_once(7)
+        assert run_once(7) != run_once(8)
+
+
+class TestFuture:
+    def test_resolve_and_value(self, sim):
+        f = sim.future("f")
+        f.resolve(99)
+        assert f.done and not f.failed
+        assert f.value == 99
+
+    def test_pending_value_raises(self, sim):
+        f = sim.future()
+        with pytest.raises(SimulationError):
+            _ = f.value
+
+    def test_double_resolve_raises(self, sim):
+        f = sim.future()
+        f.resolve(1)
+        with pytest.raises(SimulationError):
+            f.resolve(2)
+
+    def test_fail_stores_exception(self, sim):
+        f = sim.future()
+        f.fail(ValueError("boom"))
+        assert f.failed
+        with pytest.raises(ValueError):
+            _ = f.value
+
+    def test_try_resolve(self, sim):
+        f = sim.future()
+        assert f.try_resolve(1) is True
+        assert f.try_resolve(2) is False
+        assert f.value == 1
+
+    def test_callback_after_completion_still_fires(self, sim):
+        f = sim.future()
+        f.resolve(5)
+        seen = []
+        f.add_callback(lambda fut: seen.append(fut.value))
+        sim.run()
+        assert seen == [5]
+
+    def test_callbacks_are_asynchronous(self, sim):
+        """Callbacks fire via the event queue, never synchronously."""
+        f = sim.future()
+        seen = []
+        f.add_callback(lambda fut: seen.append(1))
+        f.resolve(None)
+        assert seen == []  # not yet
+        sim.run()
+        assert seen == [1]
+
+
+class TestProcess:
+    def test_process_returns_value(self, sim):
+        def proc():
+            yield sim.sleep(5)
+            return "done"
+
+        assert sim.run_process(proc()) == "done"
+        assert sim.now == 5.0
+
+    def test_process_waits_on_future(self, sim):
+        f = sim.future()
+        sim.schedule(7.0, f.resolve, "hello")
+
+        def proc():
+            value = yield f
+            return (value, sim.now)
+
+        assert sim.run_process(proc()) == ("hello", 7.0)
+
+    def test_process_waits_on_process(self, sim):
+        def child():
+            yield sim.sleep(3)
+            return 10
+
+        def parent():
+            value = yield sim.spawn(child())
+            return value * 2
+
+        assert sim.run_process(parent()) == 20
+
+    def test_yield_from_composition(self, sim):
+        def inner():
+            yield sim.sleep(2)
+            return 5
+
+        def outer():
+            a = yield from inner()
+            b = yield from inner()
+            return a + b
+
+        assert sim.run_process(outer()) == 10
+        assert sim.now == 4.0
+
+    def test_failed_future_raises_in_process(self, sim):
+        f = sim.future()
+        sim.schedule(1.0, f.fail, RuntimeError("bad"))
+
+        def proc():
+            try:
+                yield f
+            except RuntimeError as exc:
+                return f"caught {exc}"
+
+        assert sim.run_process(proc()) == "caught bad"
+
+    def test_child_failure_wrapped(self, sim):
+        def child():
+            yield sim.sleep(1)
+            raise ValueError("inner")
+
+        def parent():
+            try:
+                yield sim.spawn(child())
+            except ProcessFailure as exc:
+                assert isinstance(exc.cause, ValueError)
+                return "wrapped"
+
+        assert sim.run_process(parent()) == "wrapped"
+
+    def test_uncaught_process_exception_propagates(self, sim):
+        def proc():
+            yield sim.sleep(1)
+            raise KeyError("oops")
+
+        with pytest.raises(KeyError):
+            sim.run_process(proc())
+
+    def test_yielding_non_future_fails_process(self, sim):
+        def proc():
+            yield 42
+
+        with pytest.raises(SimulationError):
+            sim.run_process(proc())
+
+    def test_unfinished_process_detected(self, sim):
+        def proc():
+            yield sim.future()  # never resolved
+
+        with pytest.raises(SimulationError, match="did not finish"):
+            sim.run_process(proc())
+
+    def test_immediate_return(self, sim):
+        def proc():
+            return 1
+            yield  # pragma: no cover
+
+        assert sim.run_process(proc()) == 1
+
+
+class TestCombinators:
+    def test_all_of_collects_in_order(self, sim):
+        f1, f2, f3 = sim.future(), sim.future(), sim.future()
+        sim.schedule(3.0, f1.resolve, "a")
+        sim.schedule(1.0, f2.resolve, "b")
+        sim.schedule(2.0, f3.resolve, "c")
+
+        def proc():
+            values = yield all_of(sim, [f1, f2, f3])
+            return (values, sim.now)
+
+        assert sim.run_process(proc()) == (["a", "b", "c"], 3.0)
+
+    def test_all_of_empty(self, sim):
+        def proc():
+            values = yield all_of(sim, [])
+            return values
+
+        assert sim.run_process(proc()) == []
+
+    def test_all_of_fails_fast(self, sim):
+        f1, f2 = sim.future(), sim.future()
+        sim.schedule(1.0, f1.fail, RuntimeError("x"))
+
+        def proc():
+            try:
+                yield all_of(sim, [f1, f2])
+            except RuntimeError:
+                return sim.now
+
+        assert sim.run_process(proc()) == 1.0
+
+    def test_any_of_returns_first(self, sim):
+        f1, f2 = sim.future(), sim.future()
+        sim.schedule(5.0, f1.resolve, "slow")
+        sim.schedule(2.0, f2.resolve, "fast")
+
+        def proc():
+            index, value = yield any_of(sim, [f1, f2])
+            return (index, value, sim.now)
+
+        assert sim.run_process(proc()) == (1, "fast", 2.0)
+
+    def test_any_of_requires_inputs(self, sim):
+        with pytest.raises(SimulationError):
+            any_of(sim, [])
+
+    def test_any_of_with_sleep_as_timeout(self, sim):
+        never = sim.future()
+
+        def proc():
+            index, _ = yield any_of(sim, [never, sim.sleep(10)])
+            return (index, sim.now)
+
+        assert sim.run_process(proc()) == (1, 10.0)

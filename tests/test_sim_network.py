@@ -1,0 +1,224 @@
+"""Unit tests for the simulated network: delays, faults, partitions."""
+
+import pytest
+
+from repro.sim import (
+    ConstantDelay,
+    JitteredDelay,
+    MatrixDelay,
+    Message,
+    Network,
+    Node,
+    Simulator,
+)
+
+
+class Recorder(Node):
+    """Test node that logs everything it receives."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.received = []
+
+    def on_data(self, msg):
+        self.received.append((self.sim.now, msg["n"]))
+
+    def on_ping(self, msg):
+        self.reply(msg, payload={"n": msg["n"]})
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=1)
+
+
+def make_pair(sim, delay_model=None, **net_kwargs):
+    net = Network(sim, delay_model or ConstantDelay(10.0), **net_kwargs)
+    a = Recorder(sim, net, "a")
+    b = Recorder(sim, net, "b")
+    return net, a, b
+
+
+class TestDelivery:
+    def test_constant_delay(self, sim):
+        net, a, b = make_pair(sim)
+        a.send("b", "data", {"n": 1})
+        sim.run()
+        assert b.received == [(10.0, 1)]
+
+    def test_unknown_destination_rejected(self, sim):
+        net, a, b = make_pair(sim)
+        with pytest.raises(ValueError):
+            a.send("zzz", "data", {"n": 1})
+
+    def test_duplicate_node_id_rejected(self, sim):
+        net, a, b = make_pair(sim)
+        with pytest.raises(ValueError):
+            Recorder(sim, net, "a")
+
+    def test_matrix_delay_and_symmetry(self, sim):
+        model = MatrixDelay({}, default_ms=99.0)
+        model.set("a", "b", 5.0)
+        net = Network(sim, model)
+        a = Recorder(sim, net, "a")
+        b = Recorder(sim, net, "b")
+        c = Recorder(sim, net, "c")
+        a.send("b", "data", {"n": 1})
+        b.send("a", "data", {"n": 2})
+        a.send("c", "data", {"n": 3})
+        sim.run()
+        assert b.received == [(5.0, 1)]
+        assert a.received == [(5.0, 2)]
+        assert c.received == [(99.0, 3)]
+
+    def test_jitter_within_bounds_and_can_reorder(self):
+        # With jitter up to 50ms on a 1ms base, two back-to-back sends
+        # should reorder for some seed.
+        reordered = False
+        for seed in range(20):
+            sim = Simulator(seed=seed)
+            net = Network(sim, JitteredDelay(ConstantDelay(1.0), 50.0))
+            a = Recorder(sim, net, "a")
+            b = Recorder(sim, net, "b")
+            a.send("b", "data", {"n": 1})
+            a.send("b", "data", {"n": 2})
+            sim.run()
+            order = [n for _, n in b.received]
+            assert sorted(order) == [1, 2]
+            if order == [2, 1]:
+                reordered = True
+        assert reordered, "jitter never produced reordering across seeds"
+
+    def test_stats_counting(self, sim):
+        net, a, b = make_pair(sim)
+        a.send("b", "data", {"n": 1})
+        a.send("b", "data", {"n": 2})
+        sim.run()
+        assert net.stats.total_messages == 2
+        assert net.stats.by_kind["data"] == 2
+        assert net.stats.by_pair[("a", "b")] == 2
+
+    def test_stats_snapshot_diff(self, sim):
+        net, a, b = make_pair(sim)
+        a.send("b", "data", {"n": 1})
+        sim.run()
+        snap = net.snapshot()
+        a.send("b", "data", {"n": 2})
+        sim.run()
+        diff = net.stats.diff(snap)
+        assert diff.total_messages == 1
+
+    def test_tap_observes_messages(self, sim):
+        net, a, b = make_pair(sim)
+        seen = []
+        net.add_tap(lambda m: seen.append(m.kind))
+        a.send("b", "data", {"n": 1})
+        sim.run()
+        assert seen == ["data"]
+
+
+class TestFaults:
+    def test_loss_drops_messages(self):
+        sim = Simulator(seed=5)
+        net, a, b = make_pair(sim, loss_probability=1.0)
+        a.send("b", "data", {"n": 1})
+        sim.run()
+        assert b.received == []
+        assert net.stats.dropped == 1
+
+    def test_loss_probability_statistics(self):
+        sim = Simulator(seed=5)
+        net, a, b = make_pair(sim, loss_probability=0.5)
+        for i in range(400):
+            a.send("b", "data", {"n": i})
+        sim.run()
+        assert 120 < len(b.received) < 280  # ~200 expected
+
+    def test_duplication(self):
+        sim = Simulator(seed=5)
+        net, a, b = make_pair(sim, duplicate_probability=1.0)
+        a.send("b", "data", {"n": 1})
+        sim.run()
+        assert [n for _, n in b.received] == [1, 1]
+        assert net.stats.duplicated == 1
+
+    def test_invalid_probabilities_rejected(self, sim):
+        with pytest.raises(ValueError):
+            Network(sim, ConstantDelay(1.0), loss_probability=1.5)
+        with pytest.raises(ValueError):
+            Network(sim, ConstantDelay(1.0), duplicate_probability=-0.1)
+
+
+class TestPartitions:
+    def test_block_drops_both_directions(self, sim):
+        net, a, b = make_pair(sim)
+        net.block("a", "b")
+        a.send("b", "data", {"n": 1})
+        b.send("a", "data", {"n": 2})
+        sim.run()
+        assert b.received == [] and a.received == []
+
+    def test_asymmetric_block(self, sim):
+        net, a, b = make_pair(sim)
+        net.block("a", "b", symmetric=False)
+        a.send("b", "data", {"n": 1})
+        b.send("a", "data", {"n": 2})
+        sim.run()
+        assert b.received == []
+        assert a.received == [(10.0, 2)]
+
+    def test_unblock_restores(self, sim):
+        net, a, b = make_pair(sim)
+        net.block("a", "b")
+        net.unblock("a", "b")
+        a.send("b", "data", {"n": 1})
+        sim.run()
+        assert b.received == [(10.0, 1)]
+
+    def test_partition_groups(self, sim):
+        net = Network(sim, ConstantDelay(1.0))
+        nodes = {name: Recorder(sim, net, name) for name in "abcd"}
+        net.partition(["a", "b"], ["c", "d"])
+        nodes["a"].send("b", "data", {"n": 1})  # same side
+        nodes["a"].send("c", "data", {"n": 2})  # across
+        nodes["d"].send("c", "data", {"n": 3})  # same side
+        sim.run()
+        assert [n for _, n in nodes["b"].received] == [1]
+        assert [n for _, n in nodes["c"].received] == [3]
+
+    def test_heal_removes_all_blocks(self, sim):
+        net, a, b = make_pair(sim)
+        net.partition(["a"], ["b"])
+        net.heal()
+        a.send("b", "data", {"n": 1})
+        sim.run()
+        assert b.received == [(10.0, 1)]
+
+    def test_partition_formed_mid_flight_drops(self, sim):
+        """A partition severs the path for in-flight messages too."""
+        net, a, b = make_pair(sim)
+        a.send("b", "data", {"n": 1})
+        sim.schedule(5.0, lambda: net.block("a", "b"))
+        sim.run()
+        assert b.received == []
+
+
+class TestMessage:
+    def test_unique_ids(self):
+        m1 = Message(src="a", dst="b", kind="k")
+        m2 = Message(src="a", dst="b", kind="k")
+        assert m1.msg_id != m2.msg_id
+
+    def test_duplicate_copies_payload_and_reply_to(self):
+        m = Message(src="a", dst="b", kind="k", payload={"x": 1}, reply_to=77)
+        d = m.duplicate()
+        assert d.msg_id != m.msg_id
+        assert d.reply_to == 77
+        assert d.payload == {"x": 1}
+        d.payload["x"] = 2
+        assert m.payload["x"] == 1  # independent copy
+
+    def test_getitem_and_get(self):
+        m = Message(src="a", dst="b", kind="k", payload={"x": 1})
+        assert m["x"] == 1
+        assert m.get("y", "dflt") == "dflt"

@@ -1,0 +1,374 @@
+"""Tests for workload generators and the closed-loop runner."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.consistency import History
+from repro.sim import ConstantDelay, Network, Simulator
+from repro.workload import (
+    BernoulliOpStream,
+    FixedKeyChooser,
+    MarkovBurstStream,
+    PartitionedKeyChooser,
+    UniformKeyChooser,
+    ZipfKeyChooser,
+    closed_loop,
+    profile_key,
+    profile_keys,
+    tpcw_profile_stream,
+)
+from repro.workload.generators import READ, WRITE
+
+
+class TestKeyChoosers:
+    def test_fixed(self):
+        assert FixedKeyChooser("k").pick(random.Random(0)) == "k"
+
+    def test_uniform_covers_population(self):
+        keys = [f"k{i}" for i in range(5)]
+        chooser = UniformKeyChooser(keys)
+        rng = random.Random(0)
+        seen = {chooser.pick(rng) for _ in range(200)}
+        assert seen == set(keys)
+
+    def test_uniform_rejects_empty(self):
+        with pytest.raises(ValueError):
+            UniformKeyChooser([])
+
+    def test_zipf_skews_toward_head(self):
+        keys = [f"k{i}" for i in range(20)]
+        chooser = ZipfKeyChooser(keys, s=1.2)
+        rng = random.Random(1)
+        counts = {}
+        for _ in range(5000):
+            k = chooser.pick(rng)
+            counts[k] = counts.get(k, 0) + 1
+        assert counts["k0"] > counts.get("k10", 0) > counts.get("k19", 0)
+
+    def test_zipf_zero_exponent_is_uniformish(self):
+        keys = [f"k{i}" for i in range(4)]
+        chooser = ZipfKeyChooser(keys, s=0.0)
+        rng = random.Random(2)
+        counts = {k: 0 for k in keys}
+        for _ in range(4000):
+            counts[chooser.pick(rng)] += 1
+        assert max(counts.values()) < 1.3 * min(counts.values())
+
+    def test_zipf_validation(self):
+        with pytest.raises(ValueError):
+            ZipfKeyChooser([], s=1.0)
+        with pytest.raises(ValueError):
+            ZipfKeyChooser(["a"], s=-1.0)
+
+    def test_partitioned_affinity(self):
+        own = ["own1", "own2"]
+        foreign = ["f1", "f2"]
+        chooser = PartitionedKeyChooser(own, foreign, affinity=0.8)
+        rng = random.Random(3)
+        own_picks = sum(chooser.pick(rng).startswith("own") for _ in range(2000))
+        assert 1500 < own_picks < 1700
+
+    def test_partitioned_no_foreign(self):
+        chooser = PartitionedKeyChooser(["a"], [], affinity=0.5)
+        rng = random.Random(0)
+        assert all(chooser.pick(rng) == "a" for _ in range(20))
+
+
+class TestBernoulliStream:
+    def test_write_ratio_statistics(self):
+        rng = random.Random(0)
+        stream = BernoulliOpStream(rng, FixedKeyChooser("k"), write_ratio=0.3)
+        writes = sum(next(stream).kind == WRITE for _ in range(5000))
+        assert 1350 < writes < 1650
+
+    def test_extremes(self):
+        rng = random.Random(0)
+        all_reads = BernoulliOpStream(rng, FixedKeyChooser("k"), 0.0)
+        assert all(next(all_reads).kind == READ for _ in range(50))
+        all_writes = BernoulliOpStream(rng, FixedKeyChooser("k"), 1.0)
+        assert all(next(all_writes).kind == WRITE for _ in range(50))
+
+    def test_write_values_unique_and_labelled(self):
+        rng = random.Random(0)
+        stream = BernoulliOpStream(rng, FixedKeyChooser("k"), 1.0, label="cX-")
+        values = [next(stream).value for _ in range(10)]
+        assert len(set(values)) == 10
+        assert all(v.startswith("cX-") for v in values)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BernoulliOpStream(random.Random(0), FixedKeyChooser("k"), 1.5)
+
+
+class TestMarkovBurstStream:
+    def test_stationary_write_ratio(self):
+        rng = random.Random(4)
+        stream = MarkovBurstStream(
+            rng, FixedKeyChooser("k"), write_ratio=0.25, mean_write_burst=4.0
+        )
+        writes = sum(next(stream).kind == WRITE for _ in range(20_000))
+        assert 0.22 < writes / 20_000 < 0.28
+
+    def test_mean_burst_length(self):
+        rng = random.Random(5)
+        stream = MarkovBurstStream(
+            rng, FixedKeyChooser("k"), write_ratio=0.5, mean_write_burst=5.0
+        )
+        ops = [next(stream).kind for _ in range(30_000)]
+        bursts = []
+        current = 0
+        for kind in ops:
+            if kind == WRITE:
+                current += 1
+            elif current:
+                bursts.append(current)
+                current = 0
+        mean = sum(bursts) / len(bursts)
+        assert 4.2 < mean < 5.8
+
+    def test_bursts_are_longer_than_bernoulli(self):
+        rng = random.Random(6)
+        burst = MarkovBurstStream(
+            rng, FixedKeyChooser("k"), write_ratio=0.5, mean_write_burst=8.0
+        )
+        ops = [next(burst).kind for _ in range(5000)]
+        switches = sum(a != b for a, b in zip(ops, ops[1:]))
+        assert switches < 5000 * 0.3  # far fewer than iid's ~50%
+
+    def test_validation(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            MarkovBurstStream(rng, FixedKeyChooser("k"), 0.0)
+        with pytest.raises(ValueError):
+            MarkovBurstStream(rng, FixedKeyChooser("k"), 0.5, mean_write_burst=0.5)
+
+
+class TestTpcw:
+    def test_profile_keys(self):
+        assert profile_key(7) == "profile:000007"
+        assert len(profile_keys(10)) == 10
+
+    def test_stream_write_ratio_default(self):
+        rng = random.Random(7)
+        stream = tpcw_profile_stream(rng, 0, num_clients=3)
+        writes = sum(next(stream).kind == WRITE for _ in range(10_000))
+        assert 0.035 < writes / 10_000 < 0.065
+
+    def test_stream_affinity(self):
+        rng = random.Random(8)
+        stream = tpcw_profile_stream(
+            rng, 1, num_clients=3, customers_per_client=10, affinity=0.9
+        )
+        own = range(10, 20)
+        own_keys = {profile_key(c) for c in own}
+        picks = [next(stream).key for _ in range(3000)]
+        own_rate = sum(k in own_keys for k in picks) / len(picks)
+        assert 0.85 < own_rate < 0.95
+
+    def test_client_index_validated(self):
+        with pytest.raises(ValueError):
+            tpcw_profile_stream(random.Random(0), 5, num_clients=3)
+
+
+class TestClosedLoop:
+    class FakeClient:
+        """Synchronous in-sim store with a fixed latency."""
+
+        node_id = "fake"
+
+        def __init__(self, sim, latency=10.0, fail_keys=()):
+            self.sim = sim
+            self.latency = latency
+            self.fail_keys = set(fail_keys)
+            self.store = {}
+
+        def read(self, key):
+            yield self.sim.sleep(self.latency)
+            if key in self.fail_keys:
+                from repro.quorum import QrpcError
+
+                raise QrpcError("READ", 1)
+            from repro.types import ZERO_LC, ReadResult
+
+            value, lc = self.store.get(key, (None, ZERO_LC))
+            return ReadResult(key, value, lc, self.sim.now - self.latency,
+                              self.sim.now, client=self.node_id)
+
+        def write(self, key, value):
+            yield self.sim.sleep(self.latency)
+            from repro.types import LogicalClock, WriteResult
+
+            lc = LogicalClock(len(self.store) + 1, "fake")
+            self.store[key] = (value, lc)
+            return WriteResult(key, value, lc, self.sim.now - self.latency,
+                               self.sim.now, client=self.node_id)
+
+    def test_runs_n_ops_closed_loop(self):
+        sim = Simulator(seed=0)
+        client = self.FakeClient(sim, latency=10.0)
+        rng = random.Random(0)
+        stream = BernoulliOpStream(rng, FixedKeyChooser("k"), 0.5)
+        history = History()
+        issued = sim.run_process(
+            closed_loop(sim, client, stream, history, num_ops=20)
+        )
+        assert issued == 20
+        assert len(history) == 20
+        assert sim.now == 200.0  # strictly sequential
+
+    def test_think_time_spaces_operations(self):
+        sim = Simulator(seed=0)
+        client = self.FakeClient(sim, latency=10.0)
+        stream = BernoulliOpStream(random.Random(0), FixedKeyChooser("k"), 0.0)
+        history = History()
+        sim.run_process(
+            closed_loop(sim, client, stream, history, num_ops=5, think_time_ms=90.0)
+        )
+        assert sim.now == 5 * 100.0
+
+    def test_failures_recorded_not_raised(self):
+        sim = Simulator(seed=0)
+        client = self.FakeClient(sim, fail_keys={"k"})
+        stream = BernoulliOpStream(random.Random(0), FixedKeyChooser("k"), 0.0)
+        history = History()
+        sim.run_process(closed_loop(sim, client, stream, history, num_ops=5))
+        assert len(history.failures()) == 5
+
+    def test_deadline_stops_early(self):
+        sim = Simulator(seed=0)
+        client = self.FakeClient(sim, latency=10.0)
+        stream = BernoulliOpStream(random.Random(0), FixedKeyChooser("k"), 0.0)
+        history = History()
+        issued = sim.run_process(
+            closed_loop(sim, client, stream, history, num_ops=100, deadline_ms=35.0)
+        )
+        assert issued == 4  # ops start at 0,10,20,30
+
+
+class TestRecordReplay:
+    def test_recording_passes_through(self):
+        rng = random.Random(0)
+        inner = BernoulliOpStream(rng, FixedKeyChooser("k"), 0.5)
+        from repro.workload import RecordingStream
+
+        stream = RecordingStream(inner)
+        ops = [next(stream) for _ in range(10)]
+        assert stream.recorded == ops
+
+    def test_replay_reproduces_exactly(self):
+        from repro.workload import RecordingStream, ReplayStream
+
+        rng = random.Random(1)
+        stream = RecordingStream(
+            BernoulliOpStream(rng, UniformKeyChooser(["a", "b"]), 0.3)
+        )
+        original = [next(stream) for _ in range(15)]
+        replay = ReplayStream(stream.recorded)
+        assert [next(replay) for _ in range(15)] == original
+        with pytest.raises(StopIteration):
+            next(replay)
+
+    def test_replay_cycles(self):
+        from repro.workload import ReplayStream
+        from repro.workload.generators import OpSpec
+
+        replay = ReplayStream([OpSpec("read", "k")], cycle=True)
+        assert [next(replay).key for _ in range(5)] == ["k"] * 5
+        assert len(replay) == 1
+
+    def test_empty_trace_rejected(self):
+        from repro.workload import ReplayStream
+
+        with pytest.raises(ValueError):
+            ReplayStream([])
+
+    def test_dump_load_roundtrip(self):
+        import io
+
+        from repro.workload import dump_trace, load_trace
+        from repro.workload.generators import OpSpec
+
+        ops = [
+            OpSpec("read", "profile:1"),
+            OpSpec("write", "profile:1", "v1"),
+            OpSpec("read", "cart"),
+        ]
+        buffer = io.StringIO()
+        assert dump_trace(ops, buffer) == 3
+        buffer.seek(0)
+        assert load_trace(buffer) == ops
+
+    def test_load_skips_comments_and_blanks(self):
+        import io
+
+        from repro.workload import load_trace
+
+        text = "# a comment\n\nread k\n  write k v  \n"
+        ops = load_trace(io.StringIO(text))
+        assert len(ops) == 2
+
+    def test_load_rejects_garbage(self):
+        import io
+
+        from repro.workload import load_trace
+
+        with pytest.raises(ValueError):
+            load_trace(io.StringIO("frobnicate k v\n"))
+
+    def test_dump_rejects_whitespace(self):
+        import io
+
+        from repro.workload import dump_trace
+        from repro.workload.generators import OpSpec
+
+        with pytest.raises(ValueError):
+            dump_trace([OpSpec("read", "bad key")], io.StringIO())
+        with pytest.raises(ValueError):
+            dump_trace([OpSpec("write", "k", "bad value")], io.StringIO())
+
+    def test_same_trace_drives_two_protocols(self):
+        """The A/B use case: identical ops against two protocols."""
+        from repro.consistency import History
+        from repro.core import DqvlConfig, build_dqvl_cluster
+        from repro.protocols import build_majority_cluster
+        from repro.sim import ConstantDelay, Network, Simulator
+        from repro.workload import RecordingStream, ReplayStream
+
+        rng = random.Random(2)
+        recorder = RecordingStream(
+            BernoulliOpStream(rng, UniformKeyChooser(["x", "y"]), 0.3)
+        )
+        trace = [next(recorder) for _ in range(25)]
+
+        def run_dqvl():
+            sim = Simulator(seed=0)
+            net = Network(sim, ConstantDelay(10.0))
+            cluster = build_dqvl_cluster(
+                sim, net, ["i0", "i1", "i2"], ["o0", "o1", "o2"], DqvlConfig()
+            )
+            client = cluster.client("c", prefer_oqs="o0")
+            history = History()
+            sim.run_process(
+                closed_loop(sim, client, ReplayStream(trace), history, len(trace)),
+                until=600_000.0,
+            )
+            return history
+
+        def run_majority():
+            sim = Simulator(seed=0)
+            net = Network(sim, ConstantDelay(10.0))
+            cluster = build_majority_cluster(sim, net, ["s0", "s1", "s2"])
+            client = cluster.client("c", prefer="s0")
+            history = History()
+            sim.run_process(
+                closed_loop(sim, client, ReplayStream(trace), history, len(trace)),
+                until=600_000.0,
+            )
+            return history
+
+        h1, h2 = run_dqvl(), run_majority()
+        assert [op.kind for op in h1.ops] == [op.kind for op in h2.ops]
+        assert [op.key for op in h1.ops] == [op.key for op in h2.ops]
