@@ -20,7 +20,7 @@ from repro.analysis import (
 from repro.consistency import History
 from repro.core import DqvlConfig, build_dqvl_cluster
 from repro.core.volumes import HashVolumeMap
-from repro.harness import ExperimentConfig, format_series, format_table, run_response_time
+from repro.harness import ExperimentConfig, format_series, format_table, run_sweep
 from repro.quorum import GridQuorumSystem, MajorityQuorumSystem
 from repro.sim import ConstantDelay, Network, Simulator
 from repro.workload import BernoulliOpStream, UniformKeyChooser, closed_loop
@@ -460,16 +460,23 @@ def test_a7_object_lease_modes(benchmark, emit):
     assert by_name["adaptive"][2] < by_name["infinite"][2]
 
 
+def _collect_write_suppression(result):
+    """Worker-side collector: sweep points do not carry the deployment."""
+    cluster = result.deployment.cluster
+    return {
+        "writes_through": cluster.total_writes_through,
+        "writes_suppressed": cluster.total_writes_suppressed,
+    }
+
+
 def test_a5_burst_length_vs_hit_rate(benchmark, emit):
     """A5: the paper's workload assumption quantified — longer read/write
     bursts raise the hit and suppression rates that make DQVL cheap."""
     bursts = [1.0, 2.0, 4.0, 8.0, 16.0]
 
     def experiment():
-        hit_rates = []
-        suppression_rates = []
-        for burst in bursts:
-            res = run_response_time(
+        points = run_sweep(
+            [
                 ExperimentConfig(
                     protocol="dqvl",
                     write_ratio=0.5,
@@ -478,11 +485,15 @@ def test_a5_burst_length_vs_hit_rate(benchmark, emit):
                     warmup_ops=10,
                     seed=13,
                 )
-            )
-            hit_rates.append(res.summary.read_hit_rate)
-            cluster = res.deployment.cluster
-            through = cluster.total_writes_through
-            suppressed = cluster.total_writes_suppressed
+                for burst in bursts
+            ],
+            collect=_collect_write_suppression,
+        )
+        hit_rates = [p.summary.read_hit_rate for p in points]
+        suppression_rates = []
+        for p in points:
+            through = p.extras["writes_through"]
+            suppressed = p.extras["writes_suppressed"]
             suppression_rates.append(suppressed / max(through + suppressed, 1))
         return hit_rates, suppression_rates
 

@@ -18,7 +18,7 @@ Expected shape (the paper's findings):
 
 import pytest
 
-from repro.harness import ExperimentConfig, format_series, format_table, run_response_time
+from repro.harness import ExperimentConfig, format_series, format_table, run_sweep
 
 PROTOCOLS = ["dqvl", "majority", "primary_backup", "rowa", "rowa_async"]
 OPS = 150
@@ -26,16 +26,14 @@ WARMUP = 10
 SEED = 2005
 
 
-def _run(protocol: str, write_ratio: float, locality: float = 1.0):
-    return run_response_time(
-        ExperimentConfig(
-            protocol=protocol,
-            write_ratio=write_ratio,
-            locality=locality,
-            ops_per_client=OPS,
-            warmup_ops=WARMUP,
-            seed=SEED,
-        )
+def _config(protocol: str, write_ratio: float, locality: float = 1.0):
+    return ExperimentConfig(
+        protocol=protocol,
+        write_ratio=write_ratio,
+        locality=locality,
+        ops_per_client=OPS,
+        warmup_ops=WARMUP,
+        seed=SEED,
     )
 
 
@@ -43,7 +41,8 @@ def test_fig6a_write_rate_5pct(benchmark, emit):
     """Figure 6(a): response times at the 5 % write rate."""
 
     def experiment():
-        return {p: _run(p, 0.05) for p in PROTOCOLS}
+        points = run_sweep([_config(p, 0.05) for p in PROTOCOLS])
+        return dict(zip(PROTOCOLS, points))
 
     results = benchmark.pedantic(experiment, rounds=1, iterations=1)
 
@@ -90,10 +89,13 @@ def test_fig6b_write_rate_sweep(benchmark, emit):
     ratios = [0.0, 0.05, 0.1, 0.25, 0.5, 0.75, 1.0]
 
     def experiment():
-        table = {}
-        for p in PROTOCOLS:
-            table[p] = [_run(p, w).summary.overall.mean for w in ratios]
-        return table
+        points = iter(run_sweep(
+            [_config(p, w) for p in PROTOCOLS for w in ratios]
+        ))
+        return {
+            p: [next(points).summary.overall.mean for _ in ratios]
+            for p in PROTOCOLS
+        }
 
     table = benchmark.pedantic(experiment, rounds=1, iterations=1)
     emit(

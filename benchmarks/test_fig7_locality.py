@@ -19,7 +19,7 @@ Expected shape:
 
 import pytest
 
-from repro.harness import ExperimentConfig, format_series, format_table, run_response_time
+from repro.harness import ExperimentConfig, format_series, format_table, run_sweep
 
 PROTOCOLS = ["dqvl", "majority", "primary_backup", "rowa", "rowa_async"]
 OPS = 150
@@ -27,16 +27,14 @@ WARMUP = 10
 SEED = 77
 
 
-def _run(protocol: str, locality: float, write_ratio: float = 0.05):
-    return run_response_time(
-        ExperimentConfig(
-            protocol=protocol,
-            write_ratio=write_ratio,
-            locality=locality,
-            ops_per_client=OPS,
-            warmup_ops=WARMUP,
-            seed=SEED,
-        )
+def _config(protocol: str, locality: float, write_ratio: float = 0.05):
+    return ExperimentConfig(
+        protocol=protocol,
+        write_ratio=write_ratio,
+        locality=locality,
+        ops_per_client=OPS,
+        warmup_ops=WARMUP,
+        seed=SEED,
     )
 
 
@@ -44,7 +42,8 @@ def test_fig7a_locality_90pct(benchmark, emit):
     """Figure 7(a): response time at 5 % writes, 90 % locality."""
 
     def experiment():
-        return {p: _run(p, locality=0.9) for p in PROTOCOLS}
+        points = run_sweep([_config(p, locality=0.9) for p in PROTOCOLS])
+        return dict(zip(PROTOCOLS, points))
 
     results = benchmark.pedantic(experiment, rounds=1, iterations=1)
     rows = []
@@ -73,10 +72,13 @@ def test_fig7b_locality_sweep(benchmark, emit):
     localities = [0.0, 0.25, 0.5, 0.7, 0.9, 1.0]
 
     def experiment():
-        table = {}
-        for p in PROTOCOLS:
-            table[p] = [_run(p, locality=l).summary.overall.mean for l in localities]
-        return table
+        points = iter(run_sweep(
+            [_config(p, locality=l) for p in PROTOCOLS for l in localities]
+        ))
+        return {
+            p: [next(points).summary.overall.mean for _ in localities]
+            for p in PROTOCOLS
+        }
 
     table = benchmark.pedantic(experiment, rounds=1, iterations=1)
     emit(

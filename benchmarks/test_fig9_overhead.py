@@ -23,7 +23,7 @@ Expected shape:
 import pytest
 
 from repro.analysis import protocol_messages_per_request
-from repro.harness import ExperimentConfig, format_series, run_response_time
+from repro.harness import ExperimentConfig, format_series, run_sweep
 
 PROTOCOLS = ["dqvl", "majority", "grid", "rowa", "rowa_async", "primary_backup"]
 
@@ -96,21 +96,23 @@ def test_fig9_simulation_cross_check(benchmark, emit):
     against the analytic model's regimes."""
 
     def experiment():
-        rows = {}
-        for w, burst in [(0.0, None), (0.5, None), (0.5, 8.0), (1.0, None)]:
-            res = run_response_time(
-                ExperimentConfig(
-                    protocol="dqvl",
-                    write_ratio=w,
-                    mean_write_burst=burst,
-                    ops_per_client=150,
-                    warmup_ops=10,
-                    seed=9,
-                )
+        grid = [(0.0, None), (0.5, None), (0.5, 8.0), (1.0, None)]
+        points = run_sweep([
+            ExperimentConfig(
+                protocol="dqvl",
+                write_ratio=w,
+                mean_write_burst=burst,
+                ops_per_client=150,
+                warmup_ops=10,
+                seed=9,
             )
-            label = f"w={w}" + (f" burst={burst}" if burst else " iid")
-            rows[label] = res.messages_per_request
-        return rows
+            for w, burst in grid
+        ])
+        return {
+            f"w={w}" + (f" burst={burst}" if burst else " iid"):
+                point.messages_per_request
+            for (w, burst), point in zip(grid, points)
+        }
 
     rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
     lines = [f"{k:18s} {v:8.2f} msgs/request" for k, v in rows.items()]

@@ -27,7 +27,7 @@ from .edge.deployments import PROTOCOL_DEPLOYERS
 from .harness.availability import AvailabilitySimConfig, run_availability_sim
 from .harness.experiment import ExperimentConfig, run_response_time
 from .harness.figures import FIGURES, generate_figure
-from .harness.reporting import format_series, format_table
+from .harness.report import format_series, format_table
 
 __all__ = ["main", "build_parser"]
 
@@ -208,30 +208,33 @@ def _cmd_availability(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
-    def metric_of(result):
-        if args.metric == "overall":
-            return result.summary.overall.mean
-        if args.metric == "read":
-            return result.summary.reads.mean
-        if args.metric == "write":
-            return result.summary.writes.mean
-        return result.messages_per_request
+    from .harness.sweeps import run_sweep
 
-    grid = {}
-    for locality in args.localities:
-        row = []
-        for w in args.write_ratios:
-            result = run_response_time(
-                ExperimentConfig(
-                    protocol=args.protocol,
-                    write_ratio=w,
-                    locality=locality,
-                    ops_per_client=args.ops,
-                    seed=args.seed,
-                )
-            )
-            row.append(round(metric_of(result), 2))
-        grid[locality] = row
+    def metric_of(point):
+        if args.metric == "overall":
+            return point.summary.overall.mean
+        if args.metric == "read":
+            return point.summary.reads.mean
+        if args.metric == "write":
+            return point.summary.writes.mean
+        return point.messages_per_request
+
+    configs = [
+        ExperimentConfig(
+            protocol=args.protocol,
+            write_ratio=w,
+            locality=locality,
+            ops_per_client=args.ops,
+            seed=args.seed,
+        )
+        for locality in args.localities
+        for w in args.write_ratios
+    ]
+    points = iter(run_sweep(configs))
+    grid = {
+        locality: [round(metric_of(next(points)), 2) for _ in args.write_ratios]
+        for locality in args.localities
+    }
     if args.json:
         print(json.dumps(
             {"protocol": args.protocol, "metric": args.metric,

@@ -1,4 +1,4 @@
-"""Experiment harness: configs, runner, metrics, reporting."""
+"""Experiment harness: configs, runner, sweeps, metrics, reporting."""
 
 from .availability import (
     AvailabilitySimConfig,
@@ -7,7 +7,13 @@ from .availability import (
 )
 from .experiment import ExperimentConfig, ExperimentResult, run_response_time
 from .metrics import HistorySummary, LatencyStats, summarize
-from .reporting import format_series, format_table, log_axis_note
+from .report import format_series, format_table, log_axis_note
+from .sweeps import (
+    AvailabilityPoint,
+    ResponsePoint,
+    SweepCacheStats,
+    run_sweep,
+)
 
 __all__ = [
     "AvailabilitySimConfig",
@@ -22,4 +28,8 @@ __all__ = [
     "format_table",
     "format_series",
     "log_axis_note",
+    "run_sweep",
+    "ResponsePoint",
+    "AvailabilityPoint",
+    "SweepCacheStats",
 ]

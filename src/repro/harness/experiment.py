@@ -88,12 +88,19 @@ class ExperimentResult:
         Consistency checking must see the *whole* execution — a warm-up
         write is a perfectly legal value for the first measured read —
         while latency metrics intentionally exclude the warm-up.
+
+        The sort key is a total order: ``(start, end)`` alone leaves the
+        order of operations sharing both timestamps up to the merge
+        order, so ties break on client id, kind, and key to keep merged
+        histories deterministic.
         """
         merged = History()
         ops = list(self.history.ops)
         if self.warmup_history is not None:
             ops += self.warmup_history.ops
-        merged.ops = sorted(ops, key=lambda op: (op.start, op.end))
+        merged.ops = sorted(
+            ops, key=lambda op: (op.start, op.end, op.client, op.kind, op.key)
+        )
         return merged
 
 

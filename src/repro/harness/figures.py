@@ -13,7 +13,8 @@ from typing import Dict, List, Sequence, Tuple
 
 from ..analysis.availability import protocol_unavailability
 from ..analysis.overhead import protocol_messages_per_request
-from .experiment import ExperimentConfig, run_response_time
+from .experiment import ExperimentConfig
+from .sweeps import run_sweep
 
 __all__ = ["FIGURES", "generate_figure"]
 
@@ -34,29 +35,44 @@ def _response_series(
     ops: int,
     seed: int,
 ) -> FigureData:
-    series: Dict[str, List[float]] = {}
+    """One parallel cached sweep over the protocol × x-value grid."""
+    configs: List[ExperimentConfig] = []
     for protocol in RESPONSE_PROTOCOLS:
-        ys = []
         for x in x_values:
             cfg: ExperimentConfig = config_for(protocol, x)
             cfg.ops_per_client = ops
             cfg.seed = seed
-            ys.append(run_response_time(cfg).summary.overall.mean)
-        series[protocol] = ys
+            configs.append(cfg)
+    points = iter(run_sweep(configs))
+    series: Dict[str, List[float]] = {
+        protocol: [next(points).summary.overall.mean for _ in x_values]
+        for protocol in RESPONSE_PROTOCOLS
+    }
     return (x_label, x_values, series)
+
+
+def _per_protocol_panel(config_for, ops: int, seed: int) -> FigureData:
+    """The Figure 6(a)/7(a) shape: one bar group per protocol."""
+    configs = []
+    for protocol in RESPONSE_PROTOCOLS:
+        cfg = config_for(protocol)
+        cfg.ops_per_client = ops
+        cfg.seed = seed
+        configs.append(cfg)
+    series: Dict[str, List[float]] = {}
+    for protocol, point in zip(RESPONSE_PROTOCOLS, run_sweep(configs)):
+        s = point.summary
+        series[protocol] = [s.overall.mean, s.reads.mean, s.writes.mean]
+    return ("metric", ["overall_ms", "read_ms", "write_ms"], series)
 
 
 def fig6a(ops: int = 150, seed: int = 2005) -> FigureData:
     """Per-protocol response time at the 5 % write rate (bar chart)."""
-    series: Dict[str, List[float]] = {}
-    for protocol in RESPONSE_PROTOCOLS:
-        cfg = ExperimentConfig(
-            protocol=protocol, write_ratio=0.05, ops_per_client=ops, seed=seed
-        )
-        result = run_response_time(cfg)
-        s = result.summary
-        series[protocol] = [s.overall.mean, s.reads.mean, s.writes.mean]
-    return ("metric", ["overall_ms", "read_ms", "write_ms"], series)
+    return _per_protocol_panel(
+        lambda protocol: ExperimentConfig(protocol=protocol, write_ratio=0.05),
+        ops,
+        seed,
+    )
 
 
 def fig6b(ops: int = 150, seed: int = 2005) -> FigureData:
@@ -71,15 +87,13 @@ def fig6b(ops: int = 150, seed: int = 2005) -> FigureData:
 
 
 def fig7a(ops: int = 150, seed: int = 77) -> FigureData:
-    series: Dict[str, List[float]] = {}
-    for protocol in RESPONSE_PROTOCOLS:
-        cfg = ExperimentConfig(
-            protocol=protocol, write_ratio=0.05, locality=0.9,
-            ops_per_client=ops, seed=seed,
-        )
-        s = run_response_time(cfg).summary
-        series[protocol] = [s.overall.mean, s.reads.mean, s.writes.mean]
-    return ("metric", ["overall_ms", "read_ms", "write_ms"], series)
+    return _per_protocol_panel(
+        lambda protocol: ExperimentConfig(
+            protocol=protocol, write_ratio=0.05, locality=0.9
+        ),
+        ops,
+        seed,
+    )
 
 
 def fig7b(ops: int = 150, seed: int = 77) -> FigureData:

@@ -1,80 +1,27 @@
-"""Plain-text tables and series for the figure benches.
+"""Deprecated alias for :mod:`repro.harness.report`.
 
-Every bench prints the rows/series the corresponding paper figure
-plots; these helpers keep the formatting consistent and readable in
-pytest output and in EXPERIMENTS.md.
+The table/series formatters and the markdown report generator used to
+live in two near-duplicate modules (``reporting`` and ``report``); they
+are now one module.  This shim keeps ``repro.harness.reporting``
+imports working and will be removed in a future release.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+import warnings
 
-__all__ = ["format_table", "format_series", "log_axis_note"]
+from .report import (  # noqa: F401 - re-exported for compatibility
+    format_series,
+    format_table,
+    generate_report,
+    log_axis_note,
+)
 
+__all__ = ["format_table", "format_series", "log_axis_note", "generate_report"]
 
-def _format_cell(value, width: int) -> str:
-    if isinstance(value, float):
-        if value != 0 and (abs(value) < 1e-3 or abs(value) >= 1e6):
-            text = f"{value:.3e}"
-        else:
-            text = f"{value:.3f}".rstrip("0").rstrip(".")
-            if text in ("", "-"):
-                text = "0"
-    else:
-        text = str(value)
-    return text.rjust(width)
-
-
-def format_table(
-    headers: Sequence[str],
-    rows: Iterable[Sequence],
-    title: Optional[str] = None,
-) -> str:
-    """Render an ASCII table with right-aligned numeric columns."""
-    rows = [list(r) for r in rows]
-    widths = [len(h) for h in headers]
-    rendered_rows: List[List[str]] = []
-    for row in rows:
-        rendered = []
-        for i, cell in enumerate(row):
-            text = _format_cell(cell, 0).strip()
-            widths[i] = max(widths[i], len(text))
-            rendered.append(text)
-        rendered_rows.append(rendered)
-    lines = []
-    if title:
-        lines.append(title)
-    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
-    lines.append("  ".join("-" * w for w in widths))
-    for rendered in rendered_rows:
-        lines.append("  ".join(c.rjust(w) for c, w in zip(rendered, widths)))
-    return "\n".join(lines)
-
-
-def format_series(
-    x_label: str,
-    x_values: Sequence,
-    series: Sequence[tuple],
-    title: Optional[str] = None,
-) -> str:
-    """Render named series against an x axis (one column per series).
-
-    ``series`` is a list of ``(name, [y values])`` pairs.
-    """
-    headers = [x_label] + [name for name, _ in series]
-    rows = []
-    for i, x in enumerate(x_values):
-        rows.append([x] + [ys[i] for _, ys in series])
-    return format_table(headers, rows, title=title)
-
-
-def log_axis_note(values: Iterable[float]) -> str:
-    """A one-line reminder of the log-scale span (for unavailability)."""
-    values = [v for v in values if v > 0]
-    if not values:
-        return "(all values zero)"
-    import math
-
-    low = min(values)
-    high = max(values)
-    return f"(log scale: spans 1e{math.floor(math.log10(low))} .. 1e{math.ceil(math.log10(high))})"
+warnings.warn(
+    "repro.harness.reporting is deprecated; import from "
+    "repro.harness.report instead",
+    DeprecationWarning,
+    stacklevel=2,
+)

@@ -6,12 +6,26 @@ generator-based *processes* that can wait on :class:`Future` objects.
 
 The kernel is deliberately small and fully deterministic:
 
-* there is a single priority queue of events, ordered by
-  ``(time, sequence_number)``, so two events scheduled for the same
-  simulated instant always fire in the order they were scheduled;
+* every event carries a global sequence number, and events execute in
+  strict ``(time, sequence_number)`` order, so two events scheduled for
+  the same simulated instant always fire in the order they were
+  scheduled;
 * all randomness used by a simulation flows through ``Simulator.rng``,
   a single seeded :class:`random.Random`;
 * nothing in the kernel reads the wall clock.
+
+Internally there are two lanes.  Real timers (``delay > 0``) live on a
+``(time, seq)`` heap.  Zero-delay work — ``call_soon``, future-callback
+firing, process resumption — goes on a FIFO *ready deque* (asyncio
+style) and skips the heap entirely; entries on the deque are always due
+at the current instant, so FIFO order *is* sequence order within the
+lane, and the run loop merges the two lanes by comparing sequence
+numbers whenever the heap's head is also due now.  The observable order
+is therefore identical to a single ``(time, seq)`` queue, at a fraction
+of the cost: the hot trampoline path (a generator step scheduling the
+next) costs a deque append/popleft instead of a ``Timer`` allocation
+plus an ``O(log n)`` heap push/pop.  ``tests/test_sim_kernel.py`` locks
+the merged order in with a golden event trace.
 
 Processes are written as plain Python generators.  A process *yields*
 awaitables to suspend itself::
@@ -29,6 +43,7 @@ from __future__ import annotations
 
 import heapq
 import random
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 __all__ = [
@@ -144,8 +159,14 @@ class Future:
 
     def _fire(self) -> None:
         callbacks, self._callbacks = self._callbacks, []
+        if not callbacks:
+            return
+        # Fast lane: enqueue directly on the ready deque (equivalent to
+        # one call_soon per callback, minus the method dispatch).
+        args = (self,)
+        ready = self._sim._ready
         for fn in callbacks:
-            self._sim.call_soon(fn, self)
+            ready.append((None, fn, args))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "pending"
@@ -236,7 +257,15 @@ class Simulator:
 
     def __init__(self, seed: int = 0) -> None:
         self._now: float = 0.0
+        #: real timers, ordered by ``(time, seq)``
         self._queue: List = []
+        #: zero-delay fast lane: FIFO of ``(timer_or_None, fn, args)``
+        #: entries, all due at the current instant.  Invariant: whenever
+        #: the deque is non-empty, every heap entry is due strictly later
+        #: than ``now`` (the run loop drains due timers into the deque
+        #: before executing anything at a new instant), so FIFO order is
+        #: schedule order and no per-entry sequence number is needed.
+        self._ready: deque = deque()
         self._sequence = 0
         self.rng = random.Random(seed)
         self.seed = seed
@@ -257,22 +286,45 @@ class Simulator:
     # -- scheduling -------------------------------------------------------
 
     def schedule(self, delay: float, fn: Callable, *args: Any) -> Timer:
-        """Run ``fn(*args)`` after *delay* milliseconds; return a Timer."""
+        """Run ``fn(*args)`` after *delay* milliseconds; return a Timer.
+
+        Zero-delay events go on the ready deque (no heap traffic) but
+        still get a :class:`Timer`, so they stay cancellable up to the
+        instant they fire.
+        """
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
         timer = Timer(self._now + delay)
-        self._sequence += 1
-        heapq.heappush(self._queue, (timer.when, self._sequence, timer, fn, args))
+        if delay == 0:
+            self._ready.append((timer, fn, args))
+        else:
+            self._sequence += 1
+            heapq.heappush(self._queue, (timer.when, self._sequence, timer, fn, args))
         return timer
 
-    def call_soon(self, fn: Callable, *args: Any) -> Timer:
-        """Schedule ``fn(*args)`` at the current simulated time."""
-        return self.schedule(0.0, fn, *args)
+    def call_soon(self, fn: Callable, *args: Any) -> None:
+        """Schedule ``fn(*args)`` at the current simulated time.
+
+        The fast lane: no :class:`Timer` is allocated and no handle is
+        returned — ``call_soon`` events are not cancellable.  Use
+        ``schedule(0.0, ...)`` when cancellation is needed.
+        """
+        self._ready.append((None, fn, args))
 
     def sleep(self, delay: float) -> Future:
         """Return a future that resolves after *delay* milliseconds."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
         future = Future(self, name=f"sleep({delay})")
-        self.schedule(delay, future.resolve, None)
+        # Sleeps are never cancelled: skip the Timer allocation.
+        if delay == 0:
+            self._ready.append((None, future.resolve, (None,)))
+        else:
+            self._sequence += 1
+            heapq.heappush(
+                self._queue,
+                (self._now + delay, self._sequence, None, future.resolve, (None,)),
+            )
         return future
 
     def future(self, name: str = "") -> Future:
@@ -291,22 +343,64 @@ class Simulator:
 
         When stopped by *until*, the clock is advanced exactly to *until*
         so a subsequent ``run`` continues from there.
+
+        The loop preserves strict global ``(time, seq)`` order across the
+        two lanes: the ready deque is always drained before the clock
+        advances, and when it does advance, *all* timers due at the new
+        instant are moved onto the deque (in heap = schedule order) before
+        anything at that instant executes, so later ``call_soon`` work
+        lands behind them — exactly the old single-queue interleaving.
+        ``events_processed`` is flushed when the loop exits, not per event.
         """
         processed = 0
-        while self._queue:
-            when, _seq, timer, fn, args = self._queue[0]
-            if until is not None and when > until:
-                self._now = until
-                return self._now
-            if max_events is not None and processed >= max_events:
-                return self._now
-            heapq.heappop(self._queue)
-            if timer.cancelled:
-                continue
-            self._now = when
-            self._events_processed += 1
-            processed += 1
-            fn(*args)
+        ready = self._ready
+        queue = self._queue
+        heappop = heapq.heappop
+        counted = max_events is not None
+        try:
+            while True:
+                if ready:
+                    if until is not None and self._now > until:
+                        self._now = until
+                        return self._now
+                    if counted:
+                        while ready:
+                            if processed >= max_events:
+                                return self._now
+                            timer, fn, args = ready.popleft()
+                            if timer is not None and timer._cancelled:
+                                continue
+                            processed += 1
+                            fn(*args)
+                    else:
+                        while ready:
+                            timer, fn, args = ready.popleft()
+                            if timer is not None and timer._cancelled:
+                                continue
+                            processed += 1
+                            fn(*args)
+                if not queue:
+                    break
+                when = queue[0][0]
+                if until is not None and when > until:
+                    self._now = until
+                    return self._now
+                if counted and processed >= max_events:
+                    return self._now
+                _w, _seq, timer, fn, args = heappop(queue)
+                if timer is not None and timer._cancelled:
+                    continue
+                self._now = when
+                # Advance the clock once, then move every other timer due
+                # at this instant onto the ready lane (heap order = seq
+                # order, and the deque is empty here, so order holds).
+                while queue and queue[0][0] == when:
+                    entry = heappop(queue)
+                    ready.append((entry[2], entry[3], entry[4]))
+                processed += 1
+                fn(*args)
+        finally:
+            self._events_processed += processed
         if until is not None and until > self._now:
             self._now = until
         return self._now

@@ -318,3 +318,206 @@ class TestCombinators:
             return (index, sim.now)
 
         assert sim.run_process(proc()) == (1, 10.0)
+
+
+class TestFastLaneEdgeCases:
+    """Edge cases at the boundary between the zero-delay ready lane and
+    the timer heap (see DESIGN.md, "kernel fast path")."""
+
+    def test_callback_on_already_done_future(self, sim):
+        fired = []
+        f = sim.future()
+        f.resolve(7)
+        f.add_callback(lambda fut: fired.append(fut.value))
+        assert fired == []  # never synchronous
+        sim.run()
+        assert fired == [7]
+
+    def test_cancel_racing_same_tick_event(self, sim):
+        """An event can cancel a zero-delay timer scheduled for the same
+        tick; the cancelled callback must not run and must not count."""
+        fired = []
+        holder = {}
+        sim.call_soon(lambda: holder["t"].cancel())
+        holder["t"] = sim.schedule(0.0, fired.append, "victim")
+        sim.call_soon(fired.append, "after")
+        sim.run()
+        assert fired == ["after"]
+        assert sim.events_processed == 2  # canceller + "after", not the victim
+
+    def test_cancel_racing_same_instant_timer(self, sim):
+        """A timer event cancelling another timer due at the same instant."""
+        fired = []
+        victim = sim.schedule(5.0, fired.append, "victim")
+        sim.schedule(5.0, lambda: victim.cancel())
+        # scheduled before the canceller, so it fires first — too late to save
+        early = sim.schedule(5.0, fired.append, "early")
+        del early
+        sim.run()
+        assert fired == ["victim", "early"] or fired == ["early"]
+        # deterministic answer: victim was scheduled *before* the canceller,
+        # so it fires first and the cancel is a no-op on an executed event
+        assert fired == ["victim", "early"]
+
+    def test_any_of_with_immediately_failed_input(self, sim):
+        boom = sim.future()
+        boom.fail(RuntimeError("early failure"))
+        slow = sim.future()
+
+        def proc():
+            try:
+                yield any_of(sim, [slow, boom])
+            except RuntimeError as exc:
+                return str(exc)
+
+        assert sim.run_process(proc()) == "early failure"
+
+    def test_max_events_stops_mid_tick(self, sim):
+        """run(max_events=...) can stop between same-tick ready events and
+        a later run() resumes in the original FIFO order."""
+        fired = []
+        for label in "abcde":
+            sim.call_soon(fired.append, label)
+        sim.run(max_events=2)
+        assert fired == ["a", "b"]
+        sim.run(max_events=1)
+        assert fired == ["a", "b", "c"]
+        sim.run()
+        assert fired == ["a", "b", "c", "d", "e"]
+        assert sim.events_processed == 5
+
+    def test_max_events_stops_before_draining_timers(self, sim):
+        fired = []
+        sim.schedule(1.0, fired.append, "t1")
+        sim.schedule(1.0, fired.append, "t2")
+        sim.run(max_events=1)
+        assert fired == ["t1"] and sim.now == 1.0
+        sim.run()
+        assert fired == ["t1", "t2"]
+
+    def test_zero_delay_schedule_returns_cancellable_timer(self, sim):
+        fired = []
+        t = sim.schedule(0.0, fired.append, "x")
+        assert t is not None and not t.cancelled
+        t.cancel()
+        sim.run()
+        assert fired == [] and sim.events_processed == 0
+
+
+class TestGoldenTrace:
+    """Locks the kernel's exact event interleaving.
+
+    The trace below was captured from the pre-fast-lane single-heap
+    kernel (strict ``(time, seq)`` order).  The two-lane kernel must
+    reproduce it byte for byte: any divergence means the determinism
+    contract (DESIGN.md) has been broken, even if all behavioural tests
+    still pass.
+    """
+
+    EXPECTED = [
+        (0.0, "a-start"),
+        (0.0, "b-start"),
+        (0.0, "late-cb-7"),
+        (0.0, "b-zero-slept"),
+        (0.0, "b-soon"),
+        (1.0, "t1"),
+        (2.0, "a-slept"),
+        (2.899361, "rng0"),
+        (4.0, "b-resolved"),
+        (4.0, "a-got-X"),
+        (4.0, "c-all-['A', 'B']"),
+        (4.221558, "rng1"),
+        (4.244033, "rng2"),
+        (5.0, "t5-a"),
+        (5.0, "t5-b"),
+        (5.0, "chain0"),
+        (5.0, "t5-c"),
+        (5.0, "chain1"),
+        (5.0, "chain2"),
+        (5.0, "c-any-0-None"),
+        (5.0, "chain3"),
+        (6.976961, "rng3"),
+        (9.794768, "rng4"),
+        (9.794768, "end"),
+        ("events", 37),
+    ]
+
+    @staticmethod
+    def scenario_trace():
+        sim = Simulator(seed=1234)
+        trace = []
+
+        def ev(label):
+            trace.append((round(sim.now, 6), label))
+
+        # plain timers, out of order, some at the same instant
+        sim.schedule(5.0, ev, "t5-a")
+        sim.schedule(1.0, ev, "t1")
+        sim.schedule(5.0, ev, "t5-b")
+        t = sim.schedule(3.0, ev, "t3-cancelled")
+        t.cancel()
+
+        # zero-delay lane interleaved with same-time timers
+        def chain(n):
+            ev(f"chain{n}")
+            if n < 3:
+                sim.call_soon(chain, n + 1)
+
+        sim.schedule(5.0, chain, 0)
+        sim.schedule(5.0, ev, "t5-c")
+
+        # futures + callbacks + processes
+        f = sim.future("f")
+
+        def proc_a():
+            ev("a-start")
+            yield sim.sleep(2.0)
+            ev("a-slept")
+            value = yield f
+            ev(f"a-got-{value}")
+            return "A"
+
+        def proc_b():
+            ev("b-start")
+            yield sim.sleep(0.0)
+            ev("b-zero-slept")
+            sim.call_soon(ev, "b-soon")
+            yield sim.sleep(4.0)
+            f.resolve("X")
+            ev("b-resolved")
+            return "B"
+
+        pa = sim.spawn(proc_a(), name="a")
+        pb = sim.spawn(proc_b(), name="b")
+
+        def proc_c():
+            results = yield all_of(sim, [pa, pb])
+            ev(f"c-all-{results}")
+            idx, val = yield any_of(sim, [sim.sleep(1.0), sim.future("never")])
+            ev(f"c-any-{idx}-{val}")
+
+        sim.spawn(proc_c(), name="c")
+
+        # rng-driven timers entangle the RNG stream with event order
+        def rng_proc():
+            for i in range(5):
+                yield sim.sleep(sim.rng.uniform(0.0, 3.0))
+                ev(f"rng{i}")
+
+        sim.spawn(rng_proc(), name="rng")
+
+        # callback added to an already-done future fires via the queue
+        done = sim.future("done")
+        done.resolve(7)
+        done.add_callback(lambda fut: ev(f"late-cb-{fut.value}"))
+
+        sim.run()
+        trace.append((round(sim.now, 6), "end"))
+        trace.append(("events", sim.events_processed))
+        return trace
+
+    def test_trace_matches_golden(self):
+        assert self.scenario_trace() == self.EXPECTED
+
+    def test_trace_is_repeatable(self):
+        assert self.scenario_trace() == self.scenario_trace()
