@@ -1,0 +1,58 @@
+"""Chaos campaign engine: composable nemesis faults, invariant checking,
+and failing-schedule shrinking.
+
+The paper's headline claim is that DQVL preserves regular register
+semantics *while* nodes crash, links partition, and messages are lost.
+This package turns that claim into a permanent correctness harness:
+
+* :mod:`repro.chaos.faults` — a declarative, JSON-serialisable fault
+  timeline (:class:`FaultSchedule`) covering crash/restart, overlapping
+  partitions, loss/duplication bursts, gray failures (slow nodes,
+  degraded links), and bounded clock drift;
+* :mod:`repro.chaos.nemesis` — seed-deterministic generators that
+  compose random fault timelines from a campaign config;
+* :mod:`repro.chaos.invariants` — an online monitor checking protocol
+  invariants (no read served on an expired volume/object lease, epoch
+  monotonicity, logical-clock monotonicity) *during* the run;
+* :mod:`repro.chaos.campaign` — the runner: one randomized chaos run per
+  (protocol, seed, nemeses) config, checked with
+  :func:`~repro.consistency.regular.check_regular` plus the monitor,
+  fanned out via the PR-1 sweep infrastructure;
+* :mod:`repro.chaos.weaken` — deliberately broken protocol variants used
+  to prove the harness *detects* bugs;
+* :mod:`repro.chaos.shrink` — a delta-debugging shrinker minimizing a
+  violating schedule to a small replayable repro for
+  ``tests/chaos_corpus/``.
+
+Determinism contract: a chaos run is a pure function of its
+:class:`~repro.chaos.campaign.ChaosRunConfig` — the same config yields
+the same schedule, the same execution, and the same violation report, in
+any process (generator seeding uses ``zlib.crc32``, never Python's
+per-process-salted ``hash``).
+"""
+
+from .campaign import ChaosRunConfig, ChaosRunResult, run_campaign, run_chaos
+from .faults import Fault, FaultSchedule
+from .invariants import InvariantMonitor, InvariantViolation
+from .nemesis import NEMESES, build_schedule
+from .shrink import ShrinkResult, load_repro, save_repro, shrink_schedule
+from .weaken import WEAKENERS, apply_weakener
+
+__all__ = [
+    "Fault",
+    "FaultSchedule",
+    "NEMESES",
+    "build_schedule",
+    "InvariantMonitor",
+    "InvariantViolation",
+    "ChaosRunConfig",
+    "ChaosRunResult",
+    "run_chaos",
+    "run_campaign",
+    "WEAKENERS",
+    "apply_weakener",
+    "ShrinkResult",
+    "shrink_schedule",
+    "save_repro",
+    "load_repro",
+]

@@ -1,0 +1,289 @@
+"""The chaos campaign runner.
+
+One *chaos run* = one :class:`ChaosRunConfig`: build a protocol
+deployment on the edge topology, compose a seed-deterministic fault
+schedule from the configured nemeses, drive a client workload through
+the storm, and check the outcome three ways:
+
+* **history** — :func:`~repro.consistency.regular.check_regular` over
+  every recorded operation (``rowa_async`` is exempt: it is eventually
+  consistent *by design*, so the run records a staleness report
+  instead);
+* **invariants** — the online
+  :class:`~repro.chaos.invariants.InvariantMonitor` (lease-serve
+  safety, epoch/logical-clock monotonicity);
+* **liveness** — every fault window ends by the nemesis horizon, so the
+  system always gets a fault-free tail; a client workload still
+  unfinished at the (generous) time limit is itself a violation.
+
+A run is a pure function of its config: the simulator, the workload
+streams, and every nemesis draw from seeds derived with ``zlib.crc32``,
+so the same config produces the identical
+:class:`ChaosRunResult` in any process.  That makes runs cacheable and
+fan-out-able through :func:`~repro.harness.sweeps.run_sweep`
+(:func:`run_campaign`), and makes every reported violation replayable
+from its config alone.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..consistency.history import History
+from ..consistency.regular import check_regular, staleness_report
+from ..core.config import DqvlConfig
+from ..edge.deployments import PROTOCOL_DEPLOYERS, Deployment
+from ..edge.topology import EdgeTopology, EdgeTopologyConfig
+from ..sim.clock import DriftingClock
+from ..sim.kernel import Simulator
+from ..workload.generators import BernoulliOpStream, ZipfKeyChooser
+from ..workload.runner import closed_loop
+from .faults import FaultSchedule
+from .invariants import InvariantMonitor
+from .nemesis import NEMESES, NemesisContext, build_schedule, nemesis_rng
+from .weaken import WEAKENERS, apply_weakener
+
+__all__ = ["ChaosRunConfig", "ChaosRunResult", "run_chaos", "run_campaign"]
+
+#: protocols whose histories are *not* held to regular semantics
+EVENTUALLY_CONSISTENT = ("rowa_async",)
+
+
+@dataclass(frozen=True)
+class ChaosRunConfig:
+    """Everything that determines one chaos run (picklable, hashable)."""
+
+    protocol: str = "dqvl"
+    seed: int = 0
+    nemeses: Tuple[str, ...] = ("crash_storm", "rolling_partition", "loss_burst")
+    num_edges: int = 3
+    num_clients: int = 3
+    ops_per_client: int = 40
+    write_ratio: float = 0.3
+    num_keys: int = 4
+    #: all fault windows end by this time; the workload runs past it
+    horizon_ms: float = 10_000.0
+    lease_length_ms: float = 1_200.0
+    max_drift: float = 0.01
+    #: uniform extra network jitter (enables message reordering)
+    jitter_ms: float = 5.0
+    #: finite so unreachable quorums reject instead of blocking forever
+    client_max_attempts: Optional[int] = 4
+    #: named bug injection from :mod:`repro.chaos.weaken` ('' = healthy)
+    weaken: str = ""
+    sample_interval_ms: float = 100.0
+    #: hard stop; a workload still running here is a liveness violation
+    time_limit_ms: float = 600_000.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "nemeses", tuple(self.nemeses))
+        if self.protocol not in PROTOCOL_DEPLOYERS:
+            raise ValueError(
+                f"unknown protocol {self.protocol!r}; "
+                f"choose from {sorted(PROTOCOL_DEPLOYERS)}"
+            )
+        for name in self.nemeses:
+            if name not in NEMESES:
+                raise ValueError(
+                    f"unknown nemesis {name!r}; choose from {sorted(NEMESES)}"
+                )
+        if self.weaken and self.weaken not in WEAKENERS:
+            raise ValueError(
+                f"unknown weakener {self.weaken!r}; "
+                f"choose from {sorted(WEAKENERS)}"
+            )
+        if self.num_edges < 1 or self.num_clients < 1:
+            raise ValueError("need at least one edge and one client")
+        if self.horizon_ms <= 0 or self.horizon_ms >= self.time_limit_ms:
+            raise ValueError("need 0 < horizon_ms < time_limit_ms")
+
+
+@dataclass
+class ChaosRunResult:
+    """Outcome of one chaos run."""
+
+    config: ChaosRunConfig
+    schedule: FaultSchedule
+    violations: List[Dict[str, Any]]
+    stats: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_json_obj(self) -> Dict[str, Any]:
+        return {
+            "config": dataclasses.asdict(self.config),
+            "schedule": self.schedule.to_json_obj(),
+            "violations": self.violations,
+            "stats": self.stats,
+        }
+
+
+def _build_deployment(config: ChaosRunConfig, sim: Simulator):
+    topology = EdgeTopology(
+        sim,
+        EdgeTopologyConfig(
+            num_edges=config.num_edges,
+            num_clients=config.num_clients,
+            jitter_ms=config.jitter_ms,
+        ),
+    )
+    deployer = PROTOCOL_DEPLOYERS[config.protocol]
+    if config.protocol in ("dqvl", "basic_dq"):
+        dq_config = DqvlConfig(
+            lease_length_ms=config.lease_length_ms,
+            max_drift=config.max_drift,
+            proactive_renewal=(config.protocol == "dqvl"),
+            renewal_margin_ms=min(1_000.0, 0.5 * config.lease_length_ms),
+            inval_initial_timeout_ms=200.0,
+        )
+        deployment = deployer(
+            topology, config=dq_config,
+            client_max_attempts=config.client_max_attempts,
+        )
+    else:
+        deployment = deployer(
+            topology, client_max_attempts=config.client_max_attempts
+        )
+    return topology, deployment
+
+
+def _server_nodes(deployment: Deployment) -> List[Any]:
+    """The protocol server nodes, in deterministic build order."""
+    cluster = deployment.cluster
+    if hasattr(cluster, "iqs_nodes"):
+        return list(cluster.iqs_nodes) + list(cluster.oqs_nodes)
+    return list(cluster.servers)
+
+
+def _apply_drift(config: ChaosRunConfig, sim: Simulator,
+                 topology: EdgeTopology, schedule: FaultSchedule) -> None:
+    """Replace server clocks per the schedule's clock_drift faults.
+
+    Applied before any traffic at t=0: lease arithmetic bakes absolute
+    expiry times into state, so a clock must drift for the whole run,
+    never jump mid-run (drift is bounded in the system model; steps are
+    not).  Drift is clamped to the configured ``max_drift`` — the bound
+    every lease table and view was built with.
+    """
+    for fault in schedule.drift_faults():
+        drift = max(-config.max_drift, min(config.max_drift, fault.param("drift")))
+        for node_id in fault.nodes:
+            try:
+                node = topology.network.node(node_id)
+            except KeyError:
+                continue
+            node.clock = DriftingClock(
+                sim, drift=drift, offset=fault.param("offset"),
+                max_drift=config.max_drift,
+            )
+
+
+def run_chaos(
+    config: ChaosRunConfig, schedule: Optional[FaultSchedule] = None
+) -> ChaosRunResult:
+    """Execute one chaos run; returns the (deterministic) result.
+
+    *schedule* overrides the nemesis-generated one — the shrinker and
+    corpus replay use this to re-run a config under a minimized
+    schedule.
+    """
+    sim = Simulator(seed=config.seed)
+    topology, deployment = _build_deployment(config, sim)
+    servers = _server_nodes(deployment)
+    if schedule is None:
+        context = NemesisContext(
+            servers=tuple(n.node_id for n in servers),
+            horizon_ms=config.horizon_ms,
+            max_drift=config.max_drift,
+        )
+        schedule = build_schedule(config.seed, config.nemeses, context)
+    schedule = schedule.sorted()
+
+    _apply_drift(config, sim, topology, schedule)
+    monitor = InvariantMonitor(sim, sample_interval_ms=config.sample_interval_ms)
+    monitor.attach(topology.network, servers)
+    apply_weakener(deployment, config.weaken)
+    schedule.install(sim, topology.network)
+
+    history = History()
+    keys = [f"k{i}" for i in range(config.num_keys)]
+    procs = []
+    for c in range(config.num_clients):
+        client = deployment.direct_client(c)
+        # Workload streams get their own seeded rngs (not sim.rng) so the
+        # operation sequence is a function of the config alone — replaying
+        # a shrunk schedule reproduces the exact same client behaviour.
+        stream = BernoulliOpStream(
+            nemesis_rng(config.seed, f"workload-{c}"),
+            ZipfKeyChooser(keys, s=0.9),
+            config.write_ratio,
+            label=f"c{c}-",
+        )
+        procs.append(
+            sim.spawn(
+                closed_loop(sim, client, stream, history, config.ops_per_client)
+            )
+        )
+    sim.run(until=config.time_limit_ms)
+    monitor.check_now()
+
+    violations: List[Dict[str, Any]] = []
+    for c, proc in enumerate(procs):
+        if not proc.done:
+            violations.append({
+                "type": "liveness",
+                "node": f"appsc{c}",
+                "detail": (
+                    f"client {c}'s workload did not finish by "
+                    f"{config.time_limit_ms:.0f} ms (stuck operation)"
+                ),
+            })
+    stats: Dict[str, Any] = {
+        "ops_recorded": len(history),
+        "ops_failed": len(history.failures()),
+        "messages": topology.network.stats.total_messages,
+        "messages_dropped": topology.network.stats.dropped,
+        "invariant_samples": monitor.samples_taken,
+        "sim_time_ms": sim.now,
+    }
+    if config.protocol in EVENTUALLY_CONSISTENT:
+        stats["staleness"] = dataclasses.asdict(staleness_report(history))
+    else:
+        for v in check_regular(history):
+            violations.append({
+                "type": "regular",
+                "key": v.read.key,
+                "node": v.read.client,
+                "time": v.read.end,
+                "detail": str(v),
+            })
+    for obj in monitor.report():
+        violations.append({"type": "invariant", **obj})
+    return ChaosRunResult(
+        config=config, schedule=schedule, violations=violations, stats=stats
+    )
+
+
+def run_campaign(
+    configs,
+    *,
+    workers: Optional[int] = None,
+    cache: bool = True,
+    cache_path: Optional[str] = None,
+):
+    """Fan a batch of chaos runs across worker processes.
+
+    Thin wrapper over :func:`repro.harness.sweeps.run_sweep` (imported
+    lazily — the harness imports this module for the sweep's "chaos"
+    config kind).  Returns one
+    :class:`~repro.harness.sweeps.ChaosPoint` per config, in order.
+    """
+    from ..harness.sweeps import run_sweep
+
+    return run_sweep(
+        list(configs), workers=workers, cache=cache, cache_path=cache_path
+    )

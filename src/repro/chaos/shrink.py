@@ -1,0 +1,178 @@
+"""Delta-debugging minimization of violating fault schedules.
+
+A campaign failure arrives as a config plus a schedule of dozens of
+fault windows; most of them are noise.  :func:`shrink_schedule` applies
+Zeller's *ddmin* to the window list: repeatedly re-run the (fully
+deterministic) chaos run on subsets and complements, keeping the
+smallest subset that still violates.  Because a run is a pure function
+of ``(config, schedule)``, evaluations are memoized and every step is
+replayable.
+
+The result can be persisted as a *repro* — a small JSON file under
+``tests/chaos_corpus/`` carrying the config, the minimized schedule,
+and the expected violation types.  The corpus replay test re-runs each
+repro both weakened (violations must reappear) and healthy (the same
+schedule must pass), so a shrunk schedule keeps witnessing its bug for
+as long as the corpus lives.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from .campaign import ChaosRunConfig, run_chaos
+from .faults import Fault, FaultSchedule
+
+__all__ = ["ShrinkResult", "shrink_schedule", "save_repro", "load_repro"]
+
+REPRO_FORMAT = 1
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one shrink: the minimized schedule and its evidence."""
+
+    config: ChaosRunConfig
+    original: FaultSchedule
+    shrunk: FaultSchedule
+    violations: List[Dict[str, Any]]  # of the *shrunk* replay
+    runs: int = 0
+
+    @property
+    def expected_types(self) -> List[str]:
+        return sorted({v["type"] for v in self.violations})
+
+
+def shrink_schedule(
+    config: ChaosRunConfig,
+    schedule: Optional[FaultSchedule] = None,
+    *,
+    max_runs: int = 100,
+    allow_empty: bool = True,
+) -> ShrinkResult:
+    """Minimize a violating schedule with ddmin under a run budget.
+
+    *schedule* defaults to the config's own nemesis-generated schedule.
+    Raises ``ValueError`` if the starting schedule does not violate.
+    The budget bounds *simulated runs*, not iterations — hitting it
+    simply returns the smallest failing schedule found so far (still a
+    valid repro, just possibly not 1-minimal).
+
+    ``allow_empty`` controls the zero-fault probe: some injected bugs
+    violate with no faults at all, and "empty schedule" is then the most
+    informative repro.  Pass ``False`` to insist on a fault-bearing
+    repro (e.g. to document *which kind* of fault exposes a bug even
+    when the fault is not strictly necessary).
+    """
+    if schedule is None:
+        schedule = run_chaos(config).schedule
+    faults: List[Fault] = list(schedule.sorted())
+    runs = 0
+    memo: Dict[Tuple[Fault, ...], List[Dict[str, Any]]] = {}
+
+    def violations_of(subset: List[Fault]) -> List[Dict[str, Any]]:
+        nonlocal runs
+        key = tuple(subset)
+        if key not in memo:
+            runs += 1
+            memo[key] = run_chaos(
+                config, schedule=FaultSchedule(list(subset))
+            ).violations
+        return memo[key]
+
+    baseline = violations_of(faults)
+    if not baseline:
+        raise ValueError(
+            "schedule does not produce any violation; nothing to shrink"
+        )
+
+    # Classic ddmin never tries the empty set, but "violates with no
+    # faults at all" is the most informative repro there is.
+    if allow_empty and violations_of([]):
+        faults = []
+
+    n = 2
+    while len(faults) >= 2 and runs < max_runs:
+        chunk = max(1, (len(faults) + n - 1) // n)
+        subsets = [faults[i:i + chunk] for i in range(0, len(faults), chunk)]
+        reduced = False
+        for i, subset in enumerate(subsets):
+            if runs >= max_runs:
+                break
+            if violations_of(subset):
+                faults, n, reduced = subset, 2, True
+                break
+            complement = [f for s in subsets[:i] + subsets[i + 1:] for f in s]
+            if complement and violations_of(complement):
+                faults, reduced = complement, True
+                n = max(n - 1, 2)
+                break
+        if not reduced:
+            if n >= len(faults):
+                break
+            n = min(len(faults), 2 * n)
+
+    return ShrinkResult(
+        config=config,
+        original=schedule,
+        shrunk=FaultSchedule(list(faults)).sorted(),
+        violations=violations_of(faults),
+        runs=runs,
+    )
+
+
+# -- corpus persistence --------------------------------------------------------
+
+def save_repro(result: ShrinkResult, directory: str,
+               name: Optional[str] = None) -> str:
+    """Write a shrunk repro as JSON into *directory*; returns the path."""
+    config = result.config
+    if name is None:
+        name = "_".join(
+            part for part in (
+                config.protocol,
+                f"seed{config.seed}",
+                config.weaken or "healthy",
+            ) if part
+        )
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{name}.json")
+    payload = {
+        "format": REPRO_FORMAT,
+        "description": (
+            f"{len(result.shrunk)}-fault repro for protocol "
+            f"{config.protocol!r}"
+            + (f" weakened by {config.weaken!r}" if config.weaken else "")
+            + f"; expected violation types: {result.expected_types}"
+        ),
+        "config": dataclasses.asdict(config),
+        "schedule": result.shrunk.to_json_obj(),
+        "expected_types": result.expected_types,
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True, default=repr)
+        fh.write("\n")
+    return path
+
+
+def load_repro(path: str) -> Tuple[ChaosRunConfig, FaultSchedule, List[str]]:
+    """Read a corpus repro back as (config, schedule, expected_types)."""
+    with open(path) as fh:
+        payload = json.load(fh)
+    if payload.get("format") != REPRO_FORMAT:
+        raise ValueError(
+            f"{path}: unsupported repro format {payload.get('format')!r}"
+        )
+    known = {f.name for f in dataclasses.fields(ChaosRunConfig)}
+    config_obj = {
+        k: v for k, v in payload["config"].items() if k in known
+    }
+    if config_obj.get("nemeses") is not None:
+        config_obj["nemeses"] = tuple(config_obj["nemeses"])
+    config = ChaosRunConfig(**config_obj)
+    schedule = FaultSchedule.from_json_obj(payload["schedule"])
+    return config, schedule, list(payload.get("expected_types", []))

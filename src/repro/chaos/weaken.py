@@ -1,0 +1,128 @@
+"""Deliberately broken protocol variants ("weakeners").
+
+A chaos harness that only ever reports "0 violations" proves nothing —
+the zero is meaningful only if the same harness demonstrably *lights up*
+when the protocol is broken.  Each weakener here disables one safety
+mechanism of a built DQVL deployment, in place, by rebinding a bound
+method on the live node objects (``types.MethodType``), so the healthy
+code path stays byte-identical and a corpus repro can flip between
+healthy and weakened replay of the *same* schedule.
+
+Weakeners are part of the corpus format: a shrunk repro records which
+weakener exposed the bug, and the replay test asserts the violation
+reappears under it (and disappears without it).
+
+``ignore_volume_expiry``
+    OQS nodes skip the lease-expiry check in the read-path hit test
+    (everything else — renewals, invalidations, epochs — still works).
+    Breaks the paper's core safety argument: an IQS server waits out the
+    volume lease of an unreachable OQS node before acking a write, but
+    the weakened holder keeps serving from the "expired" lease.  Only
+    fires under a fault that lets a lease actually lapse (e.g. a
+    partition outlasting the lease) — proactive renewal keeps a
+    fault-free run clean — which makes it the canonical target for the
+    schedule shrinker.  Caught by the invariant monitor
+    (``lease_serve``) and, when the stale value is actually read, by
+    ``check_regular``.
+
+``ignore_object_invalidations``
+    OQS nodes drop incoming object invalidations on the floor, so cached
+    objects are never marked invalid.  The raw lease view itself is now
+    lying, so only the *history* checker can see the bug — which is why
+    the campaign runs both checkers.
+
+``skip_write_invalidation``
+    IQS servers classify every OQS node as already-invalid on writes,
+    skipping the object-write-quorum invalidation round entirely.
+"""
+
+from __future__ import annotations
+
+import types
+from typing import Callable, Dict
+
+from ..core.dqvl import DqvlIqsNode, DqvlOqsNode
+from ..types import ZERO_LC
+
+__all__ = ["WEAKENERS", "apply_weakener"]
+
+
+def _dqvl_nodes(deployment):
+    cluster = getattr(deployment, "cluster", None)
+    oqs = [n for n in getattr(cluster, "oqs_nodes", []) if isinstance(n, DqvlOqsNode)]
+    iqs = [n for n in getattr(cluster, "iqs_nodes", []) if isinstance(n, DqvlIqsNode)]
+    if not oqs or not iqs:
+        raise ValueError(
+            "weakeners target DQVL deployments (protocols 'dqvl'/'basic_dq' "
+            "with lease views); this deployment has none"
+        )
+    return iqs, oqs
+
+
+def ignore_volume_expiry(deployment) -> None:
+    _iqs, oqs = _dqvl_nodes(deployment)
+    for node in oqs:
+        # Re-implements is_local_valid minus the two expiry comparisons.
+        # Patching the node (not the shared view method) leaves renewal
+        # and invalidation machinery fully intact.
+        def is_local_valid(self, obj):
+            volume = self.volume_of(obj)
+            view = self.view
+            valid = set()
+            for i in self.iqs.nodes:
+                if (volume, i) not in view._vol_expires:
+                    continue
+                lease = view._objects.get((obj, i))
+                if lease is None or not lease.valid:
+                    continue
+                if lease.epoch != view._vol_epoch.get((volume, i), 0):
+                    continue
+                valid.add(i)
+            if not self.iqs.is_read_quorum(valid):
+                return False
+            best = max(
+                (view.object_clock(obj, i) for i in valid), default=ZERO_LC
+            )
+            max_seen = max(
+                (view.object_clock(obj, i) for i in self.iqs.nodes),
+                default=ZERO_LC,
+            )
+            return best >= max_seen
+        node.is_local_valid = types.MethodType(is_local_valid, node)
+
+
+def ignore_object_invalidations(deployment) -> None:
+    _iqs, oqs = _dqvl_nodes(deployment)
+    for node in oqs:
+        def apply_invalidation(self, iqs_node, obj, lc):
+            return None
+        node.view.apply_invalidation = types.MethodType(apply_invalidation, node.view)
+
+
+def skip_write_invalidation(deployment) -> None:
+    iqs, _oqs = _dqvl_nodes(deployment)
+    for node in iqs:
+        def _classify_oqs_node(self, obj, volume, oqs_node, lc):
+            return "invalid"
+        node._classify_oqs_node = types.MethodType(_classify_oqs_node, node)
+
+
+#: weakener registry (names are part of the corpus format — stable)
+WEAKENERS: Dict[str, Callable] = {
+    "ignore_volume_expiry": ignore_volume_expiry,
+    "ignore_object_invalidations": ignore_object_invalidations,
+    "skip_write_invalidation": skip_write_invalidation,
+}
+
+
+def apply_weakener(deployment, name: str) -> None:
+    """Apply the named weakener to a built deployment (no-op for '')."""
+    if not name:
+        return
+    try:
+        weakener = WEAKENERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown weakener {name!r}; choose from {sorted(WEAKENERS)}"
+        ) from None
+    weakener(deployment)

@@ -6,6 +6,7 @@ Commands
                  (fig6a fig6b fig7a fig7b fig8a fig8b fig9a fig9b)
 ``run``          one response-time experiment with explicit parameters
 ``availability`` measured availability under Bernoulli outages
+``chaos``        randomized chaos campaign with invariant checking
 ``protocols``    list the available protocols
 
 Examples::
@@ -14,6 +15,8 @@ Examples::
     python -m repro figure fig8a --json
     python -m repro run --protocol dqvl --write-ratio 0.05 --locality 0.9
     python -m repro availability --protocol dqvl --p 0.15 --epochs 200
+    python -m repro chaos --seeds 10 --protocols dqvl,majority
+    python -m repro chaos --weaken ignore_volume_expiry --shrink
 """
 
 from __future__ import annotations
@@ -97,6 +100,33 @@ def build_parser() -> argparse.ArgumentParser:
                         help="subset of figures (default: all)")
     report.add_argument("--measured-availability", action="store_true",
                         help="include the simulated availability cross-check")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="randomized fault campaign with consistency + invariant checks",
+    )
+    chaos.add_argument("--protocols", default="dqvl",
+                       help='comma-separated protocol list, or "all"')
+    chaos.add_argument("--seeds", type=int, default=5,
+                       help="number of seeds per protocol")
+    chaos.add_argument("--seed-base", type=int, default=0,
+                       help="first seed (campaign runs seed-base .. +seeds-1)")
+    chaos.add_argument("--nemeses",
+                       default="crash_storm,rolling_partition,loss_burst",
+                       help='comma-separated nemesis list, or "all"')
+    chaos.add_argument("--ops", type=int, default=40,
+                       help="operations per client")
+    chaos.add_argument("--clients", type=int, default=3)
+    chaos.add_argument("--edges", type=int, default=3)
+    chaos.add_argument("--weaken", default="",
+                       help="inject a named protocol bug (harness self-test)")
+    chaos.add_argument("--shrink", action="store_true",
+                       help="minimize the first failing schedule and save a repro")
+    chaos.add_argument("--corpus-dir", default="tests/chaos_corpus",
+                       help="where --shrink writes the repro JSON")
+    chaos.add_argument("--workers", type=int, default=None)
+    chaos.add_argument("--no-cache", action="store_true")
+    chaos.add_argument("--json", action="store_true")
 
     sub.add_parser("protocols", help="list available protocols")
     return parser
@@ -267,6 +297,91 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from .chaos import NEMESES, ChaosRunConfig
+    from .chaos.campaign import run_campaign
+
+    protocols = (
+        sorted(PROTOCOL_DEPLOYERS)
+        if args.protocols == "all"
+        else [p for p in args.protocols.split(",") if p]
+    )
+    nemeses = tuple(
+        sorted(NEMESES)
+        if args.nemeses == "all"
+        else [n for n in args.nemeses.split(",") if n]
+    )
+    configs = [
+        ChaosRunConfig(
+            protocol=protocol,
+            seed=args.seed_base + s,
+            nemeses=nemeses,
+            ops_per_client=args.ops,
+            num_clients=args.clients,
+            num_edges=args.edges,
+            weaken=args.weaken,
+        )
+        for protocol in protocols
+        for s in range(args.seeds)
+    ]
+    points = run_campaign(
+        configs, workers=args.workers, cache=not args.no_cache
+    )
+
+    failing = [p for p in points if not p.ok]
+    if args.json:
+        print(json.dumps(
+            [
+                {
+                    "protocol": p.config.protocol,
+                    "seed": p.config.seed,
+                    "weaken": p.config.weaken,
+                    "violations": p.violations,
+                    "stats": p.stats,
+                    "schedule": p.schedule,
+                }
+                for p in points
+            ],
+            indent=2, default=repr,
+        ))
+    else:
+        rows = []
+        for p in points:
+            types = ",".join(sorted({v["type"] for v in p.violations})) or "-"
+            rows.append([
+                p.config.protocol, p.config.seed,
+                p.stats["ops_recorded"], p.stats["ops_failed"],
+                len(p.violations), types,
+            ])
+        title = f"chaos campaign: nemeses {', '.join(nemeses)}"
+        if args.weaken:
+            title += f" (weakened: {args.weaken})"
+        print(format_table(
+            ["protocol", "seed", "ops", "rejected", "violations", "types"],
+            rows, title=title,
+        ))
+        print(f"{len(points) - len(failing)}/{len(points)} runs clean")
+
+    if args.shrink and failing:
+        from .chaos import save_repro, shrink_schedule
+        from .chaos.faults import FaultSchedule
+
+        first = failing[0]
+        print(
+            f"shrinking {first.config.protocol} seed {first.config.seed} "
+            f"({len(first.schedule)} fault windows)..."
+        )
+        result = shrink_schedule(
+            first.config, FaultSchedule.from_json_obj(first.schedule)
+        )
+        path = save_repro(result, args.corpus_dir)
+        print(
+            f"minimized to {len(result.shrunk)} fault window(s) in "
+            f"{result.runs} runs; repro saved to {path}"
+        )
+    return 1 if failing else 0
+
+
 def _cmd_protocols(_args) -> int:
     print("response-time protocols:", ", ".join(sorted(PROTOCOL_DEPLOYERS)))
     print("figures:", ", ".join(sorted(FIGURES)))
@@ -281,6 +396,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "availability": _cmd_availability,
         "sweep": _cmd_sweep,
         "report": _cmd_report,
+        "chaos": _cmd_chaos,
         "protocols": _cmd_protocols,
     }
     return handlers[args.command](args)

@@ -90,9 +90,16 @@ class History:
         self.ops.append(op)
         return op
 
-    def record_failure(self, kind: str, key: str, start: float, end: float, client: str) -> Op:
-        """Record a rejected/timed-out operation (counted as unavailable)."""
-        op = Op(kind=kind, key=key, value=None, lc=ZERO_LC,
+    def record_failure(self, kind: str, key: str, start: float, end: float,
+                       client: str, value: object = None) -> Op:
+        """Record a rejected/timed-out operation (counted as unavailable).
+
+        For writes, pass the *attempted* value: a failed write may still
+        have reached some replicas, and the checker can then recognise
+        its value when a later read returns it (the client never learned
+        the write's clock, so the value is the only identity it has).
+        """
+        op = Op(kind=kind, key=key, value=value, lc=ZERO_LC,
                 start=start, end=end, client=client, ok=False)
         self.ops.append(op)
         return op

@@ -43,6 +43,7 @@ import sys
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
+from ..chaos.campaign import ChaosRunConfig, run_chaos
 from .availability import AvailabilitySimConfig, run_availability_sim
 from .experiment import ExperimentConfig, run_response_time
 from .metrics import HistorySummary, LatencyStats
@@ -51,6 +52,7 @@ __all__ = [
     "SweepCacheStats",
     "ResponsePoint",
     "AvailabilityPoint",
+    "ChaosPoint",
     "run_sweep",
     "clear_cache",
     "sweep_workers",
@@ -62,7 +64,7 @@ logger = logging.getLogger("repro.harness.sweeps")
 
 _CACHE_VERSION = 1
 
-SweepConfig = Union[ExperimentConfig, AvailabilitySimConfig]
+SweepConfig = Union[ExperimentConfig, AvailabilitySimConfig, ChaosRunConfig]
 
 
 @dataclass
@@ -116,6 +118,22 @@ class AvailabilityPoint:
         return 1.0 - self.availability
 
 
+@dataclass
+class ChaosPoint:
+    """Reduced result of one chaos run (see :mod:`repro.chaos.campaign`)."""
+
+    config: ChaosRunConfig
+    violations: List[Dict[str, Any]]
+    stats: Dict[str, Any]
+    schedule: List[Dict[str, Any]]  # FaultSchedule JSON form
+    extras: Dict[str, Any] = field(default_factory=dict)
+    from_cache: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
 # -- code / config fingerprints ------------------------------------------------
 
 _code_version: Optional[str] = None
@@ -150,9 +168,11 @@ def _config_kind(config: SweepConfig) -> str:
         return "response"
     if isinstance(config, AvailabilitySimConfig):
         return "availability"
+    if isinstance(config, ChaosRunConfig):
+        return "chaos"
     raise TypeError(
-        f"run_sweep takes ExperimentConfig or AvailabilitySimConfig, "
-        f"got {type(config).__name__}"
+        f"run_sweep takes ExperimentConfig, AvailabilitySimConfig or "
+        f"ChaosRunConfig, got {type(config).__name__}"
     )
 
 
@@ -217,6 +237,15 @@ def _compute_point(config: SweepConfig,
             "sim_time_ms": result.sim_time_ms,
             "extras": collect(result) if collect is not None else {},
         }
+    if isinstance(config, ChaosRunConfig):
+        result = run_chaos(config)
+        return {
+            "kind": "chaos",
+            "violations": result.violations,
+            "stats": result.stats,
+            "schedule": result.schedule.to_json_obj(),
+            "extras": collect(result) if collect is not None else {},
+        }
     result = run_availability_sim(config)
     return {
         "kind": "availability",
@@ -245,6 +274,15 @@ def _rebuild_point(config: SweepConfig, data: Dict[str, Any],
             messages_per_request=data["messages_per_request"],
             total_requests=data["total_requests"],
             sim_time_ms=data["sim_time_ms"],
+            extras=data.get("extras") or {},
+            from_cache=from_cache,
+        )
+    if data["kind"] == "chaos":
+        return ChaosPoint(
+            config=config,
+            violations=data["violations"],
+            stats=data["stats"],
+            schedule=data["schedule"],
             extras=data.get("extras") or {},
             from_cache=from_cache,
         )

@@ -46,13 +46,22 @@ def partition_for(
 ) -> None:
     """Partition the network into *groups* at *at*; heal *duration* ms later.
 
-    Healing removes *all* blocks, so overlapping partition windows should
-    use explicit :class:`FailureSchedule` events instead.
+    Healing is token-scoped: only the blocks this partition installed are
+    removed, so overlapping :func:`partition_for` windows compose freely.
     """
     if duration <= 0:
         raise ValueError("duration must be positive")
-    sim.schedule(at, lambda: network.partition(*groups))
-    sim.schedule(at + duration, network.heal)
+    token_box: List[int] = []
+
+    def start() -> None:
+        token_box.append(network.partition(*groups))
+
+    def end() -> None:
+        if token_box:
+            network.heal(token_box.pop())
+
+    sim.schedule(at, start)
+    sim.schedule(at + duration, end)
 
 
 @dataclass
@@ -61,13 +70,16 @@ class FailureEvent:
 
     ``action`` is one of ``"crash"``, ``"recover"``, ``"partition"``,
     ``"heal"``.  ``nodes`` names the crash/recover target(s);
-    ``groups`` supplies partition groups.
+    ``groups`` supplies partition groups.  ``tag`` names a partition so a
+    later tagged heal removes only that partition's blocks (untagged
+    heal remains heal-everything).
     """
 
     time: float
     action: str
     nodes: Tuple[str, ...] = ()
     groups: Tuple[Tuple[str, ...], ...] = ()
+    tag: Optional[str] = None
 
 
 @dataclass
@@ -84,18 +96,22 @@ class FailureSchedule:
         self.events.append(FailureEvent(time, "recover", nodes=tuple(nodes)))
         return self
 
-    def partition(self, time: float, *groups: Iterable[str]) -> "FailureSchedule":
+    def partition(self, time: float, *groups: Iterable[str],
+                  tag: Optional[str] = None) -> "FailureSchedule":
         self.events.append(
-            FailureEvent(time, "partition", groups=tuple(tuple(g) for g in groups))
+            FailureEvent(time, "partition",
+                         groups=tuple(tuple(g) for g in groups), tag=tag)
         )
         return self
 
-    def heal(self, time: float) -> "FailureSchedule":
-        self.events.append(FailureEvent(time, "heal"))
+    def heal(self, time: float, tag: Optional[str] = None) -> "FailureSchedule":
+        """Heal everything, or — with *tag* — just that tagged partition."""
+        self.events.append(FailureEvent(time, "heal", tag=tag))
         return self
 
     def install(self, sim: Simulator, network: Network) -> None:
         """Schedule every event onto *sim* against *network*'s nodes."""
+        tokens: dict = {}  # tag -> partition token, filled at run time
         for event in self.events:
             if event.action == "crash":
                 for node_id in event.nodes:
@@ -104,10 +120,26 @@ class FailureSchedule:
                 for node_id in event.nodes:
                     sim.schedule(event.time, network.node(node_id).recover)
             elif event.action == "partition":
-                groups = event.groups
-                sim.schedule(event.time, lambda g=groups: network.partition(*g))
+                groups, tag = event.groups, event.tag
+
+                def do_partition(g=groups, t=tag) -> None:
+                    token = network.partition(*g)
+                    if t is not None:
+                        tokens[t] = token
+
+                sim.schedule(event.time, do_partition)
             elif event.action == "heal":
-                sim.schedule(event.time, network.heal)
+                tag = event.tag
+
+                def do_heal(t=tag) -> None:
+                    if t is None:
+                        network.heal()
+                    else:
+                        token = tokens.pop(t, None)
+                        if token is not None:
+                            network.heal(token)
+
+                sim.schedule(event.time, do_heal)
             else:
                 raise ValueError(f"unknown failure action {event.action!r}")
 

@@ -21,12 +21,25 @@ The network counts every message it accepts, per kind and per (src, dst)
 pair; the communication-overhead experiments (Figure 9) read these
 counters.  ``snapshot()``/``reset_counters()`` delimit measurement
 windows so warm-up traffic can be excluded.
+
+Fault windows
+-------------
+Beyond the constructor-level ``loss_probability``/``duplicate_probability``,
+the chaos tooling composes *windowed* faults at runtime, each returning a
+token that removes exactly that fault:
+
+* :meth:`partition` → token consumed by :meth:`heal`; overlapping
+  partitions heal independently (a pair stays blocked while any active
+  partition separates it);
+* :meth:`degrade_link` → per-link extra delay and/or loss (gray links);
+* :meth:`add_loss_window` / :meth:`add_duplication_window` → network-wide
+  extra loss/duplication that stacks independently with the base rates.
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from typing import Callable, Dict, Iterable, Optional, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from .kernel import Simulator
 from .messages import Message
@@ -119,6 +132,10 @@ class NetworkStats:
         self.bytes_by_kind: Counter = Counter()
         self.dropped = 0
         self.duplicated = 0
+        #: messages addressed to an id no node registered (counted in
+        #: ``dropped`` as well) — chaos schedules may name nodes that a
+        #: particular deployment does not instantiate
+        self.unknown_destination = 0
 
     def record(self, message: Message, size: int = 0) -> None:
         self.total_messages += 1
@@ -137,6 +154,7 @@ class NetworkStats:
         out.bytes_by_kind = Counter(self.bytes_by_kind)
         out.dropped = self.dropped
         out.duplicated = self.duplicated
+        out.unknown_destination = self.unknown_destination
         return out
 
     def diff(self, earlier: "NetworkStats") -> "NetworkStats":
@@ -149,6 +167,7 @@ class NetworkStats:
         out.bytes_by_kind = self.bytes_by_kind - earlier.bytes_by_kind
         out.dropped = self.dropped - earlier.dropped
         out.duplicated = self.duplicated - earlier.duplicated
+        out.unknown_destination = self.unknown_destination - earlier.unknown_destination
         return out
 
 
@@ -188,8 +207,27 @@ class Network:
         self.size_model = size_model
         self.stats = NetworkStats()
         self._nodes: Dict[str, "NodeLike"] = {}
+        #: manual blocks (idempotent block/unblock API)
         self._blocked_pairs: Set[Tuple[str, str]] = set()
+        #: token → the set of pairs that partition blocks; a pair is
+        #: blocked while *any* active partition contains it, so
+        #: overlapping partition windows heal independently
+        self._partitions: Dict[int, Set[Tuple[str, str]]] = {}
+        self._partition_counts: Counter = Counter()
+        #: token → [(pair, extra_delay_ms, loss_probability)] gray links
+        self._link_faults: Dict[int, List[Tuple[Tuple[str, str], float, float]]] = {}
+        self._link_delay: Dict[Tuple[str, str], float] = {}
+        self._link_loss: Dict[Tuple[str, str], List[float]] = {}
+        #: token → extra network-wide loss / duplication probability
+        self._loss_windows: Dict[int, float] = {}
+        self._dup_windows: Dict[int, float] = {}
+        self._next_token = 1
         self._message_taps: list = []
+
+    def _new_token(self) -> int:
+        token = self._next_token
+        self._next_token += 1
+        return token
 
     # -- membership -------------------------------------------------------
 
@@ -220,27 +258,153 @@ class Network:
         if symmetric:
             self._blocked_pairs.discard((b, a))
 
-    def partition(self, *groups: Iterable[str]) -> None:
-        """Partition the network into the given groups.
+    def partition(self, *groups: Iterable[str]) -> int:
+        """Partition the network into the given groups; returns a token.
 
         Traffic between nodes in different groups is dropped; traffic
         within a group flows normally.  Nodes not named in any group are
-        unaffected.  Overwrites any previous partition state between the
-        named nodes.
+        unaffected.  Passing the returned token to :meth:`heal` removes
+        exactly this partition's blocks, so overlapping fault windows
+        compose: a pair stays severed while *any* active partition
+        separates it.
         """
+        pairs: Set[Tuple[str, str]] = set()
         group_sets = [set(g) for g in groups]
         for i, ga in enumerate(group_sets):
             for gb in group_sets[i + 1:]:
                 for a in ga:
                     for b in gb:
-                        self.block(a, b)
+                        pairs.add((a, b))
+                        pairs.add((b, a))
+        token = self._new_token()
+        self._partitions[token] = pairs
+        self._partition_counts.update(pairs)
+        return token
 
-    def heal(self) -> None:
-        """Remove every partition/block."""
-        self._blocked_pairs.clear()
+    def heal(self, token: Optional[int] = None) -> None:
+        """Remove partitions/blocks.
+
+        Without a token this is heal-everything: every manual block and
+        every active partition disappears.  With a token, only the blocks
+        installed by that :meth:`partition` call are removed (idempotent:
+        an unknown or already-healed token is a no-op).
+        """
+        if token is None:
+            self._blocked_pairs.clear()
+            self._partitions.clear()
+            self._partition_counts.clear()
+            return
+        pairs = self._partitions.pop(token, None)
+        if pairs is None:
+            return
+        self._partition_counts.subtract(pairs)
+        # Counter.subtract keeps zero entries; purge them so membership
+        # checks and len() stay meaningful.
+        for pair in pairs:
+            if self._partition_counts[pair] <= 0:
+                del self._partition_counts[pair]
 
     def is_blocked(self, src: str, dst: str) -> bool:
-        return (src, dst) in self._blocked_pairs
+        pair = (src, dst)
+        return pair in self._blocked_pairs or pair in self._partition_counts
+
+    # -- gray failures ----------------------------------------------------
+
+    def degrade_link(
+        self,
+        a: str,
+        b: str,
+        extra_delay_ms: float = 0.0,
+        loss_probability: float = 0.0,
+        symmetric: bool = True,
+    ) -> int:
+        """Degrade the a→b link (and b→a when symmetric): add one-way
+        delay and/or independent loss.  Returns a token for
+        :meth:`restore_link`.  Degradations stack: concurrent faults on
+        the same link add their delays and compound their loss
+        probabilities."""
+        if extra_delay_ms < 0:
+            raise ValueError("extra_delay_ms must be non-negative")
+        if not 0.0 <= loss_probability <= 1.0:
+            raise ValueError("loss_probability must be in [0, 1]")
+        pairs = [(a, b)] + ([(b, a)] if symmetric else [])
+        entries = []
+        for pair in pairs:
+            entries.append((pair, extra_delay_ms, loss_probability))
+            self._link_delay[pair] = self._link_delay.get(pair, 0.0) + extra_delay_ms
+            if loss_probability:
+                self._link_loss.setdefault(pair, []).append(loss_probability)
+        token = self._new_token()
+        self._link_faults[token] = entries
+        return token
+
+    def restore_link(self, token: int) -> None:
+        """Undo one :meth:`degrade_link` (idempotent on unknown tokens)."""
+        entries = self._link_faults.pop(token, None)
+        if entries is None:
+            return
+        for pair, delay, loss in entries:
+            remaining = self._link_delay.get(pair, 0.0) - delay
+            if remaining > 1e-12:
+                self._link_delay[pair] = remaining
+            else:
+                self._link_delay.pop(pair, None)
+            if loss:
+                probs = self._link_loss.get(pair, [])
+                if loss in probs:
+                    probs.remove(loss)
+                if not probs:
+                    self._link_loss.pop(pair, None)
+
+    def link_extra_delay(self, src: str, dst: str) -> float:
+        """Summed gray-failure delay currently afflicting src→dst."""
+        return self._link_delay.get((src, dst), 0.0)
+
+    def link_loss_probability(self, src: str, dst: str) -> float:
+        """Compound gray-failure loss currently afflicting src→dst."""
+        survive = 1.0
+        for p in self._link_loss.get((src, dst), ()):
+            survive *= 1.0 - p
+        return 1.0 - survive
+
+    def add_loss_window(self, probability: float) -> int:
+        """Add network-wide message loss on top of the base rate; the
+        returned token removes it (:meth:`remove_loss_window`).  Windows
+        compound independently with each other and the base rate."""
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        token = self._new_token()
+        self._loss_windows[token] = probability
+        return token
+
+    def remove_loss_window(self, token: int) -> None:
+        self._loss_windows.pop(token, None)
+
+    def add_duplication_window(self, probability: float) -> int:
+        """Add network-wide duplication on top of the base rate; the
+        returned token removes it (:meth:`remove_duplication_window`)."""
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        token = self._new_token()
+        self._dup_windows[token] = probability
+        return token
+
+    def remove_duplication_window(self, token: int) -> None:
+        self._dup_windows.pop(token, None)
+
+    def effective_loss_probability(self, src: str, dst: str) -> float:
+        """Base loss, loss windows, and link degradation, compounded."""
+        survive = 1.0 - self.loss_probability
+        for p in self._loss_windows.values():
+            survive *= 1.0 - p
+        survive *= 1.0 - self.link_loss_probability(src, dst)
+        return 1.0 - survive
+
+    def effective_duplicate_probability(self) -> float:
+        survive = 1.0 - self.duplicate_probability
+        for p in self._dup_windows.values():
+            survive *= 1.0 - p
+        return 1.0 - survive
 
     # -- observation ------------------------------------------------------
 
@@ -259,28 +423,36 @@ class Network:
 
     def send(self, message: Message) -> None:
         """Accept a message for delivery (or inject a fault instead)."""
-        if message.dst not in self._nodes:
-            raise ValueError(f"unknown destination node {message.dst!r}")
         message.send_time = self.sim.now
         size = self.size_model(message) if self.size_model is not None else 0
         self.stats.record(message, size)
         for tap in self._message_taps:
             tap(message)
 
+        if message.dst not in self._nodes:
+            # Chaos schedules may address nodes a deployment never
+            # instantiated; mid-simulation that is a black hole, not a
+            # programming error.
+            self.stats.dropped += 1
+            self.stats.unknown_destination += 1
+            return
         if self.is_blocked(message.src, message.dst):
             self.stats.dropped += 1
             return
-        if self.loss_probability and self.sim.rng.random() < self.loss_probability:
+        loss = self.effective_loss_probability(message.src, message.dst)
+        if loss and self.sim.rng.random() < loss:
             self.stats.dropped += 1
             return
 
         self._schedule_delivery(message)
-        if self.duplicate_probability and self.sim.rng.random() < self.duplicate_probability:
+        dup = self.effective_duplicate_probability()
+        if dup and self.sim.rng.random() < dup:
             self.stats.duplicated += 1
             self._schedule_delivery(message.duplicate())
 
     def _schedule_delivery(self, message: Message) -> None:
         delay = self.delay_model.delay(message.src, message.dst, self.sim.rng)
+        delay += self._link_delay.get((message.src, message.dst), 0.0)
         self.sim.schedule(delay, self._deliver, message)
 
     def _deliver(self, message: Message) -> None:

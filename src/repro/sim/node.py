@@ -13,6 +13,10 @@ A :class:`Node` is a named participant attached to a
 * **fail-stop crashes** — :meth:`crash` silences the node (incoming
   messages and timer callbacks are dropped, sends are suppressed);
   :meth:`recover` brings it back and invokes the ``on_recover`` hook;
+* **gray failures** — :meth:`set_slow` makes the node *slow* rather than
+  dead: every incoming message is processed only after an extra local
+  delay, modelling an overloaded or GC-pausing process that peers cannot
+  distinguish from a lossy link;
 * **safe timers** — :meth:`after` schedules callbacks that are
   automatically suppressed while the node is crashed.
 
@@ -76,6 +80,8 @@ class Node:
         self.alive = True
         self._pending_rpcs: Dict[int, Future] = {}
         self._crash_count = 0
+        #: gray failure: extra per-message processing delay (0 = healthy)
+        self._slow_ms = 0.0
         network.register(self)
 
     # -- identity ----------------------------------------------------------
@@ -134,6 +140,22 @@ class Node:
         """Entry point used by the network; dispatches or correlates."""
         if not self.alive:
             return
+        if self._slow_ms > 0.0:
+            # Slow mode: the message has arrived, but the process gets to
+            # it late.  The crash-epoch guard drops it if the node crashes
+            # (or crash-recovers) before the backlog drains — restart
+            # loses queued-but-unprocessed input.
+            epoch = self._crash_count
+
+            def delayed() -> None:
+                if self.alive and self._crash_count == epoch:
+                    self._dispatch(message)
+
+            self.sim.schedule(self._slow_ms, delayed)
+            return
+        self._dispatch(message)
+
+    def _dispatch(self, message: Message) -> None:
         if message.reply_to is not None:
             pending = self._pending_rpcs.pop(message.reply_to, None)
             if pending is not None and not pending.done:
@@ -173,6 +195,23 @@ class Node:
         return self.sim.spawn(generator, name=name or self.node_id)
 
     # -- failure model -----------------------------------------------------
+
+    def set_slow(self, extra_ms: float) -> None:
+        """Enter gray-failure slow mode: every subsequently delivered
+        message waits *extra_ms* of local processing delay before being
+        dispatched.  The node is otherwise fully alive — it is the
+        degraded-but-not-dead condition quorum systems struggle with."""
+        if extra_ms < 0:
+            raise ValueError("extra_ms must be non-negative")
+        self._slow_ms = extra_ms
+
+    def clear_slow(self) -> None:
+        """Leave slow mode; messages already queued keep their delay."""
+        self._slow_ms = 0.0
+
+    @property
+    def is_slow(self) -> bool:
+        return self._slow_ms > 0.0
 
     def crash(self) -> None:
         """Fail-stop: drop pending RPCs, ignore messages and timers."""

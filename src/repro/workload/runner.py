@@ -70,6 +70,7 @@ def closed_loop(
             history.record_failure(
                 spec.kind, spec.key, start, sim.now,
                 getattr(client, "node_id", "client"),
+                value=spec.value if spec.kind != READ else None,
             )
         if think_time_ms > 0:
             yield sim.sleep(think_time_ms)

@@ -1,0 +1,56 @@
+"""Replay every shrunk repro in ``tests/chaos_corpus/``.
+
+Each corpus entry is a minimized fault schedule that witnessed a bug in
+a deliberately weakened protocol variant.  The contract, re-checked here
+on every test run:
+
+* replayed **weakened**, the recorded violation types reappear;
+* replayed **healthy** (same schedule, same seed, weakener off), the run
+  is clean.
+
+Together these pin both directions — the schedule still provokes the
+bug, and the bug really lives in the weakened code path rather than in
+the schedule or the checkers.
+"""
+
+import dataclasses
+import glob
+import os
+
+import pytest
+
+from repro.chaos import load_repro, run_chaos
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "chaos_corpus")
+CORPUS = sorted(glob.glob(os.path.join(CORPUS_DIR, "*.json")))
+
+
+def test_corpus_is_not_empty():
+    assert CORPUS, f"no repros found in {CORPUS_DIR}"
+
+
+@pytest.mark.parametrize(
+    "path", CORPUS, ids=[os.path.basename(p) for p in CORPUS]
+)
+def test_weakened_replay_reproduces_violations(path):
+    config, schedule, expected = load_repro(path)
+    assert config.weaken, "corpus entries must name the weakener they expose"
+    result = run_chaos(config, schedule=schedule)
+    observed = {v["type"] for v in result.violations}
+    assert set(expected) <= observed, (
+        f"{os.path.basename(path)}: expected {expected}, observed "
+        f"{sorted(observed)}"
+    )
+
+
+@pytest.mark.parametrize(
+    "path", CORPUS, ids=[os.path.basename(p) for p in CORPUS]
+)
+def test_healthy_replay_is_clean(path):
+    config, schedule, _expected = load_repro(path)
+    healthy = dataclasses.replace(config, weaken="")
+    result = run_chaos(healthy, schedule=schedule)
+    assert result.ok, (
+        f"{os.path.basename(path)}: healthy replay violated: "
+        f"{result.violations}"
+    )

@@ -1,0 +1,99 @@
+"""Tests for seed-deterministic nemesis schedule generation."""
+
+import pytest
+
+from repro.chaos import NEMESES, build_schedule
+from repro.chaos.nemesis import NemesisContext, nemesis_rng
+
+CTX = NemesisContext(
+    servers=("iqs0", "iqs1", "iqs2", "oqs0", "oqs1"),
+    horizon_ms=10_000.0,
+    max_drift=0.01,
+)
+
+ALL = tuple(sorted(NEMESES))
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        one = build_schedule(42, ALL, CTX)
+        two = build_schedule(42, ALL, CTX)
+        assert one.to_json_obj() == two.to_json_obj()
+
+    def test_different_seeds_differ(self):
+        one = build_schedule(1, ALL, CTX)
+        two = build_schedule(2, ALL, CTX)
+        assert one.to_json_obj() != two.to_json_obj()
+
+    def test_streams_are_independent(self):
+        """Adding a nemesis to the mix must not perturb the faults an
+        unrelated nemesis generates (each has its own rng stream)."""
+        alone = build_schedule(7, ("crash_storm",), CTX)
+        mixed = build_schedule(7, ("crash_storm", "loss_burst"), CTX)
+        crash_alone = [f for f in alone if f.kind == "crash"]
+        crash_mixed = [f for f in mixed if f.kind == "crash"]
+        assert crash_alone == crash_mixed
+
+    def test_nemesis_order_irrelevant(self):
+        one = build_schedule(7, ("loss_burst", "crash_storm"), CTX)
+        two = build_schedule(7, ("crash_storm", "loss_burst"), CTX)
+        assert one.to_json_obj() == two.to_json_obj()
+
+    def test_rng_does_not_use_builtin_hash(self):
+        """nemesis_rng must be process-stable; crc32 mixing gives the
+        same first draw for the same inputs in any interpreter."""
+        assert nemesis_rng(3, "crash_storm").random() == \
+            nemesis_rng(3, "crash_storm").random()
+        assert nemesis_rng(3, "crash_storm").random() != \
+            nemesis_rng(3, "loss_burst").random()
+
+
+class TestSafetyEnvelope:
+    @pytest.mark.parametrize("name", ALL)
+    @pytest.mark.parametrize("seed", [0, 1, 17])
+    def test_windows_end_by_horizon(self, name, seed):
+        for fault in build_schedule(seed, (name,), CTX):
+            assert fault.end <= CTX.horizon_ms + 1e-9
+            assert fault.start >= 0.0
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_crash_storm_leaves_a_server_up(self, seed):
+        for fault in build_schedule(seed, ("crash_storm",), CTX):
+            assert len(fault.nodes) < len(CTX.servers)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_clock_drift_within_declared_bound(self, seed):
+        faults = list(build_schedule(seed, ("clock_drift",), CTX))
+        assert {f.nodes[0] for f in faults} == set(CTX.servers)
+        for fault in faults:
+            assert abs(fault.param("drift")) <= CTX.max_drift
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_partitions_cover_all_servers(self, seed):
+        for fault in build_schedule(
+            seed, ("rolling_partition", "overlapping_partitions"), CTX
+        ):
+            named = {s for g in fault.groups for s in g}
+            assert named == set(CTX.servers)
+            assert all(g for g in fault.groups)
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_generators_target_known_servers(self, name):
+        for fault in build_schedule(5, (name,), CTX):
+            assert set(fault.nodes) <= set(CTX.servers)
+
+
+class TestRegistry:
+    def test_unknown_nemesis_rejected(self):
+        with pytest.raises(KeyError, match="unknown nemesis"):
+            build_schedule(0, ("chaos_monkey",), CTX)
+
+    def test_duplicate_names_collapse(self):
+        one = build_schedule(3, ("loss_burst",), CTX)
+        two = build_schedule(3, ("loss_burst", "loss_burst"), CTX)
+        assert one.to_json_obj() == two.to_json_obj()
+
+    def test_schedule_is_sorted(self):
+        sched = build_schedule(9, ALL, CTX)
+        starts = [f.start for f in sched]
+        assert starts == sorted(starts)

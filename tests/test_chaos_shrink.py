@@ -1,0 +1,83 @@
+"""Tests for the ddmin schedule shrinker and repro persistence."""
+
+import pytest
+
+from repro.chaos import (
+    ChaosRunConfig,
+    Fault,
+    FaultSchedule,
+    load_repro,
+    save_repro,
+    shrink_schedule,
+)
+from repro.chaos.shrink import ShrinkResult
+
+WEAKENED = dict(ops_per_client=30, write_ratio=0.35)
+
+
+class TestShrink:
+    def test_clean_schedule_rejected(self):
+        config = ChaosRunConfig(
+            seed=1, num_clients=2, ops_per_client=10, horizon_ms=6_000.0
+        )
+        with pytest.raises(ValueError, match="does not produce any violation"):
+            shrink_schedule(config)
+
+    def test_shrinks_weakened_run_to_small_repro(self):
+        """The acceptance bar: a weakened variant's dozen-fault nemesis
+        schedule shrinks to a handful of windows that still witness the
+        bug."""
+        config = ChaosRunConfig(
+            seed=0, weaken="ignore_volume_expiry", **WEAKENED
+        )
+        result = shrink_schedule(config, allow_empty=False)
+        assert 1 <= len(result.shrunk) <= 6
+        assert len(result.shrunk) < len(result.original)
+        assert result.violations
+        assert result.runs <= 100
+        assert result.expected_types  # e.g. ['invariant', 'regular']
+
+    def test_empty_probe_finds_fault_free_bugs(self):
+        """ignore_object_invalidations violates with *no* faults at all;
+        with allow_empty the shrinker reports exactly that."""
+        config = ChaosRunConfig(
+            seed=0, weaken="ignore_object_invalidations", **WEAKENED
+        )
+        result = shrink_schedule(config)
+        assert len(result.shrunk) == 0
+        assert result.violations
+        assert result.runs == 2  # baseline + the empty probe
+
+
+class TestReproPersistence:
+    def _result(self):
+        config = ChaosRunConfig(seed=9, weaken="ignore_volume_expiry")
+        sched = FaultSchedule([
+            Fault.make("partition", 100.0, 900.0,
+                       groups=(("oqs1",), ("iqs0", "iqs1", "iqs2", "oqs0"))),
+        ])
+        return ShrinkResult(
+            config=config,
+            original=sched,
+            shrunk=sched,
+            violations=[{"type": "invariant"}, {"type": "regular"}],
+            runs=3,
+        )
+
+    def test_save_load_roundtrip(self, tmp_path):
+        result = self._result()
+        path = save_repro(result, str(tmp_path))
+        config, schedule, expected = load_repro(path)
+        assert config == result.config
+        assert schedule.faults == result.shrunk.faults
+        assert expected == ["invariant", "regular"]
+
+    def test_default_name_encodes_config(self, tmp_path):
+        path = save_repro(self._result(), str(tmp_path))
+        assert path.endswith("dqvl_seed9_ignore_volume_expiry.json")
+
+    def test_unknown_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": 99}')
+        with pytest.raises(ValueError, match="unsupported repro format"):
+            load_repro(str(path))

@@ -97,6 +97,40 @@ class TestRegularChecker:
         )
         assert check_regular(h) == []
 
+    def test_failed_write_with_unknown_clock_matched_by_value(self):
+        """A failed write usually records no clock (the client gave up
+        before learning it); when its value surfaces under the clock a
+        server assigned, the read is legal — matched by value."""
+        h = history_of(
+            w("x", 1, 0, 10),
+            Op("write", "x", "v2", ZERO_LC, 20, 30, "c", ok=False),
+            Op("read", "x", "v2", lc(5, node="srv"), 100, 110, "c"),
+        )
+        assert check_regular(h) == []
+
+    def test_unrelated_value_not_excused_by_in_doubt_write(self):
+        h = history_of(
+            w("x", 1, 0, 10),
+            Op("write", "x", "v2", ZERO_LC, 20, 30, "c", ok=False),
+            Op("read", "x", "v9", lc(5, node="srv"), 100, 110, "c"),
+        )
+        assert len(check_regular(h)) == 1
+
+    def test_in_doubt_none_value_does_not_excuse_initial_reads(self):
+        """A failed write recorded without its value must not blanket-
+        excuse reads of the (None) initial value under a bogus clock."""
+        h = history_of(
+            w("x", 1, 0, 10),
+            Op("write", "x", None, ZERO_LC, 20, 30, "c", ok=False),
+            Op("read", "x", None, lc(5, node="srv"), 100, 110, "c"),
+        )
+        assert len(check_regular(h)) == 1
+
+    def test_failure_record_keeps_attempted_write_value(self):
+        h = History()
+        h.record_failure("write", "x", 0.0, 10.0, "c", value="v1")
+        assert h.failures()[0].value == "v1"
+
     def test_failed_read_not_checked(self):
         h = history_of(w("x", 1, 0, 10), r("x", 9, 20, 30, ok=False))
         assert check_regular(h) == []

@@ -117,6 +117,35 @@ class TestFailureHelpers:
         sim.run(until=21.0)
         assert not net.is_blocked("n0", "n3")
 
+    def test_overlapping_partition_for_windows_compose(self, sim):
+        """Each partition_for heals only its own blocks (token-scoped)."""
+        net, nodes = self._make_world(sim)
+        partition_for(sim, net, [["n0"], ["n1", "n2", "n3"]], at=0.0, duration=10.0)
+        partition_for(sim, net, [["n0", "n1"], ["n2", "n3"]], at=5.0, duration=20.0)
+        sim.run(until=7.0)
+        assert net.is_blocked("n0", "n1")   # first window
+        assert net.is_blocked("n0", "n2")   # both windows
+        sim.run(until=12.0)                  # first healed
+        assert not net.is_blocked("n0", "n1")
+        assert net.is_blocked("n0", "n2")   # second still holds it
+        assert net.is_blocked("n1", "n3")
+        sim.run(until=30.0)
+        assert not net.is_blocked("n0", "n2")
+        assert not net.is_blocked("n1", "n3")
+
+    def test_failure_schedule_tagged_heal(self, sim):
+        net, nodes = self._make_world(sim)
+        schedule = (
+            FailureSchedule()
+            .partition(1.0, ["n0"], ["n1"], tag="p1")
+            .partition(2.0, ["n0"], ["n2"], tag="p2")
+            .heal(5.0, tag="p1")
+        )
+        schedule.install(sim, net)
+        sim.run(until=6.0)
+        assert not net.is_blocked("n0", "n1")
+        assert net.is_blocked("n0", "n2")
+
     def test_failure_schedule_unknown_action(self, sim):
         net, nodes = self._make_world(sim)
         schedule = FailureSchedule()

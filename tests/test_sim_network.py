@@ -46,10 +46,13 @@ class TestDelivery:
         sim.run()
         assert b.received == [(10.0, 1)]
 
-    def test_unknown_destination_rejected(self, sim):
+    def test_unknown_destination_counts_as_drop(self, sim):
         net, a, b = make_pair(sim)
-        with pytest.raises(ValueError):
-            a.send("zzz", "data", {"n": 1})
+        a.send("zzz", "data", {"n": 1})
+        sim.run()
+        assert net.stats.dropped == 1
+        assert net.stats.unknown_destination == 1
+        assert b.received == []
 
     def test_duplicate_node_id_rejected(self, sim):
         net, a, b = make_pair(sim)
@@ -194,6 +197,41 @@ class TestPartitions:
         sim.run()
         assert b.received == [(10.0, 1)]
 
+    def test_overlapping_partitions_heal_independently(self, sim):
+        net = Network(sim, ConstantDelay(1.0))
+        nodes = {name: Recorder(sim, net, name) for name in "abc"}
+        t1 = net.partition(["a"], ["b", "c"])
+        t2 = net.partition(["a", "b"], ["c"])
+        net.heal(t1)
+        # a↔c is still severed by the second partition; a↔b is open.
+        nodes["a"].send("b", "data", {"n": 1})
+        nodes["a"].send("c", "data", {"n": 2})
+        sim.run()
+        assert [n for _, n in nodes["b"].received] == [1]
+        assert nodes["c"].received == []
+        net.heal(t2)
+        nodes["a"].send("c", "data", {"n": 3})
+        sim.run()
+        assert [n for _, n in nodes["c"].received] == [3]
+
+    def test_heal_unknown_token_is_noop(self, sim):
+        net, a, b = make_pair(sim)
+        token = net.partition(["a"], ["b"])
+        net.heal(9999)  # unknown
+        assert net.is_blocked("a", "b")
+        net.heal(token)
+        net.heal(token)  # double-heal is idempotent
+        assert not net.is_blocked("a", "b")
+
+    def test_argless_heal_clears_everything(self, sim):
+        net, a, b = make_pair(sim)
+        net.block("a", "b")
+        net.partition(["a"], ["b"])
+        net.heal()
+        a.send("b", "data", {"n": 1})
+        sim.run()
+        assert b.received == [(10.0, 1)]
+
     def test_partition_formed_mid_flight_drops(self, sim):
         """A partition severs the path for in-flight messages too."""
         net, a, b = make_pair(sim)
@@ -201,6 +239,80 @@ class TestPartitions:
         sim.schedule(5.0, lambda: net.block("a", "b"))
         sim.run()
         assert b.received == []
+
+
+class TestGrayFailures:
+    def test_degrade_link_adds_delay(self, sim):
+        net, a, b = make_pair(sim)
+        token = net.degrade_link("a", "b", extra_delay_ms=25.0)
+        a.send("b", "data", {"n": 1})
+        sim.run()
+        assert b.received == [(35.0, 1)]
+        net.restore_link(token)
+        a.send("b", "data", {"n": 2})
+        sim.run()
+        assert b.received[-1] == (sim.now, 2)
+        assert net.link_extra_delay("a", "b") == 0.0
+
+    def test_degrade_link_stacks(self, sim):
+        net, a, b = make_pair(sim)
+        t1 = net.degrade_link("a", "b", extra_delay_ms=10.0)
+        t2 = net.degrade_link("a", "b", extra_delay_ms=5.0)
+        assert net.link_extra_delay("a", "b") == 15.0
+        net.restore_link(t1)
+        assert net.link_extra_delay("a", "b") == 5.0
+        net.restore_link(t2)
+        net.restore_link(t2)  # idempotent
+        assert net.link_extra_delay("a", "b") == 0.0
+
+    def test_degrade_link_loss(self):
+        sim = Simulator(seed=7)
+        net, a, b = make_pair(sim)
+        token = net.degrade_link("a", "b", loss_probability=1.0, symmetric=False)
+        a.send("b", "data", {"n": 1})
+        b.send("a", "data", {"n": 2})
+        sim.run()
+        assert b.received == []
+        assert [n for _, n in a.received] == [2]
+        net.restore_link(token)
+        assert net.link_loss_probability("a", "b") == 0.0
+
+    def test_loss_window_composes_with_base(self):
+        sim = Simulator(seed=3)
+        net, a, b = make_pair(sim, loss_probability=0.0)
+        token = net.add_loss_window(1.0)
+        assert net.effective_loss_probability("a", "b") == 1.0
+        a.send("b", "data", {"n": 1})
+        sim.run()
+        assert b.received == []
+        net.remove_loss_window(token)
+        assert net.effective_loss_probability("a", "b") == 0.0
+        a.send("b", "data", {"n": 2})
+        sim.run()
+        assert [n for _, n in b.received] == [2]
+
+    def test_duplication_window(self):
+        sim = Simulator(seed=3)
+        net, a, b = make_pair(sim)
+        token = net.add_duplication_window(1.0)
+        a.send("b", "data", {"n": 1})
+        sim.run()
+        assert [n for _, n in b.received] == [1, 1]
+        net.remove_duplication_window(token)
+        a.send("b", "data", {"n": 2})
+        sim.run()
+        assert [n for _, n in b.received] == [1, 1, 2]
+
+    def test_degrade_link_rejects_bad_args(self, sim):
+        net, a, b = make_pair(sim)
+        with pytest.raises(ValueError):
+            net.degrade_link("a", "b", extra_delay_ms=-1.0)
+        with pytest.raises(ValueError):
+            net.degrade_link("a", "b", loss_probability=2.0)
+        with pytest.raises(ValueError):
+            net.add_loss_window(-0.5)
+        with pytest.raises(ValueError):
+            net.add_duplication_window(1.5)
 
 
 class TestMessage:

@@ -179,6 +179,52 @@ class TestCrashRecovery:
             a.check_alive()
 
 
+class TestSlowMode:
+    def test_slow_mode_defers_dispatch(self, world):
+        sim, net, a, b = world
+        b.set_slow(40.0)
+        assert b.is_slow
+        a.send("b", "oneway", {"x": 1})
+        sim.run()
+        # 10ms network + 40ms local backlog
+        assert b.sync_calls == [1]
+        assert sim.now == 50.0
+
+    def test_slow_mode_delays_rpc_replies(self, world):
+        sim, net, a, b = world
+        b.set_slow(30.0)
+
+        def proc():
+            reply = yield a.call("b", "echo", {"x": 2})
+            return (reply["x"], sim.now)
+
+        # request: 10 net + 30 slow, reply: 10 net (client is healthy)
+        assert sim.run_process(proc()) == (2, 50.0)
+
+    def test_clear_slow_restores_latency(self, world):
+        sim, net, a, b = world
+        b.set_slow(40.0)
+        b.clear_slow()
+        assert not b.is_slow
+        a.send("b", "oneway", {"x": 1})
+        sim.run()
+        assert sim.now == 10.0
+
+    def test_crash_while_slow_drops_backlog(self, world):
+        sim, net, a, b = world
+        b.set_slow(40.0)
+        a.send("b", "oneway", {"x": 1})
+        sim.schedule(20.0, b.crash)   # message arrived at 10, queued
+        sim.schedule(25.0, b.recover)
+        sim.run()
+        assert b.sync_calls == []  # restart loses queued input
+
+    def test_negative_slow_rejected(self, world):
+        sim, net, a, b = world
+        with pytest.raises(ValueError):
+            a.set_slow(-1.0)
+
+
 class TestTimers:
     def test_after_fires_when_alive(self, world):
         sim, net, a, b = world
