@@ -76,6 +76,10 @@ class ChaosRunConfig:
     sample_interval_ms: float = 100.0
     #: hard stop; a workload still running here is a liveness violation
     time_limit_ms: float = 600_000.0
+    #: opt-in observability: when set, the result carries deterministic
+    #: JSONL and Chrome-trace exports of the run's causal span tree,
+    #: with the fault schedule rendered as annotation windows
+    trace: bool = False
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "nemeses", tuple(self.nemeses))
@@ -108,6 +112,10 @@ class ChaosRunResult:
     schedule: FaultSchedule
     violations: List[Dict[str, Any]]
     stats: Dict[str, Any] = field(default_factory=dict)
+    #: exports populated when ``config.trace`` is set (strings so they
+    #: survive the sweep's process/cache boundary)
+    trace_jsonl: Optional[str] = None
+    trace_chrome: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -204,6 +212,11 @@ def run_chaos(
     schedule = schedule.sorted()
 
     _apply_drift(config, sim, topology, schedule)
+    obs = None
+    if config.trace:
+        from ..obs import Observability
+
+        obs = Observability(sim).install(topology.network)
     monitor = InvariantMonitor(sim, sample_interval_ms=config.sample_interval_ms)
     monitor.attach(topology.network, servers)
     apply_weakener(deployment, config.weaken)
@@ -263,8 +276,17 @@ def run_chaos(
             })
     for obj in monitor.report():
         violations.append({"type": "invariant", **obj})
+    trace_jsonl = trace_chrome = None
+    if obs is not None:
+        from ..obs import spans_to_chrome, spans_to_jsonl
+
+        obs.finalize(topology.network, deployment)
+        trace_jsonl = spans_to_jsonl(obs.tracer, faults=schedule,
+                                     metrics=obs.metrics)
+        trace_chrome = spans_to_chrome(obs.tracer, faults=schedule)
     return ChaosRunResult(
-        config=config, schedule=schedule, violations=violations, stats=stats
+        config=config, schedule=schedule, violations=violations, stats=stats,
+        trace_jsonl=trace_jsonl, trace_chrome=trace_chrome,
     )
 
 

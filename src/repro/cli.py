@@ -7,6 +7,7 @@ Commands
 ``run``          one response-time experiment with explicit parameters
 ``availability`` measured availability under Bernoulli outages
 ``chaos``        randomized chaos campaign with invariant checking
+``trace``        traced run exporting a causal op→round→message timeline
 ``protocols``    list the available protocols
 
 Examples::
@@ -17,6 +18,8 @@ Examples::
     python -m repro availability --protocol dqvl --p 0.15 --epochs 200
     python -m repro chaos --seeds 10 --protocols dqvl,majority
     python -m repro chaos --weaken ignore_volume_expiry --shrink
+    python -m repro trace --partition 200:400 --export chrome --out trace.json
+    python -m repro trace --export jsonl --span-filter op --top-slow 5
 """
 
 from __future__ import annotations
@@ -127,6 +130,40 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--workers", type=int, default=None)
     chaos.add_argument("--no-cache", action="store_true")
     chaos.add_argument("--json", action="store_true")
+    chaos.add_argument("--trace", action="store_true",
+                       help="export a span timeline per run (see --trace-dir)")
+    chaos.add_argument("--trace-dir", default="results/chaos_traces",
+                       help="where --trace writes JSONL + Chrome-trace files")
+
+    trace = sub.add_parser(
+        "trace",
+        help="one traced run; exports a causal op→round→message timeline",
+    )
+    trace.add_argument("--protocol", choices=sorted(PROTOCOL_DEPLOYERS),
+                       default="dqvl")
+    trace.add_argument("--write-ratio", type=float, default=0.2)
+    trace.add_argument("--locality", type=float, default=1.0)
+    trace.add_argument("--ops", type=int, default=60,
+                       help="operations per client (small: traces are per-op)")
+    trace.add_argument("--clients", type=int, default=3)
+    trace.add_argument("--edges", type=int, default=9)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--export", choices=["chrome", "jsonl"], default="chrome",
+                       help="chrome: Perfetto/chrome://tracing JSON; "
+                            "jsonl: one record per line")
+    trace.add_argument("--out", default=None,
+                       help="output path (default: stdout)")
+    trace.add_argument("--span-filter", default=None,
+                       help="keep spans whose category or name matches "
+                            "(subtrees of matches are retained)")
+    trace.add_argument("--top-slow", type=int, default=0, metavar="N",
+                       help="also print the N slowest operation spans")
+    trace.add_argument(
+        "--partition", default=None, metavar="START:DUR",
+        help="partition the first edge's server from the quorum peers for "
+             "DUR ms starting at START ms (shows, e.g., a DQVL read miss "
+             "stalling on validation)",
+    )
 
     sub.add_parser("protocols", help="list available protocols")
     return parser
@@ -186,7 +223,9 @@ def _cmd_run(args) -> int:
         "overall_ms": s.overall.mean,
         "read_ms": s.reads.mean,
         "write_ms": s.writes.mean,
+        "p50_ms": s.overall.p50,
         "p95_ms": s.overall.p95,
+        "p99_ms": s.overall.p99,
         "read_hit_rate": s.read_hit_rate,
         "messages_per_request": result.messages_per_request,
         "requests": result.total_requests,
@@ -324,9 +363,29 @@ def _cmd_chaos(args) -> int:
         for protocol in protocols
         for s in range(args.seeds)
     ]
+    if args.trace:
+        import dataclasses
+
+        configs = [dataclasses.replace(c, trace=True) for c in configs]
     points = run_campaign(
         configs, workers=args.workers, cache=not args.no_cache
     )
+    if args.trace:
+        import os
+
+        os.makedirs(args.trace_dir, exist_ok=True)
+        for p in points:
+            stem = f"{p.config.protocol}_seed{p.config.seed}"
+            if p.config.weaken:
+                stem += f"_{p.config.weaken}"
+            for suffix, text in (
+                (".jsonl", p.trace_jsonl), (".chrome.json", p.trace_chrome)
+            ):
+                if text is None:
+                    continue
+                with open(os.path.join(args.trace_dir, stem + suffix), "w") as fh:
+                    fh.write(text)
+        print(f"trace exports written to {args.trace_dir}/", file=sys.stderr)
 
     failing = [p for p in points if not p.ok]
     if args.json:
@@ -382,6 +441,71 @@ def _cmd_chaos(args) -> int:
     return 1 if failing else 0
 
 
+def _cmd_trace(args) -> int:
+    from .obs import format_top_slow, spans_to_chrome, spans_to_jsonl
+
+    schedule = None
+    if args.partition is not None:
+        from .chaos.faults import Fault, FaultSchedule
+
+        try:
+            start_str, dur_str = args.partition.split(":", 1)
+            start, duration = float(start_str), float(dur_str)
+        except ValueError:
+            print("--partition wants START:DUR in ms, e.g. 200:400",
+                  file=sys.stderr)
+            return 2
+        # Cut the first edge's server off from its quorum peers: for DQVL
+        # that severs oqs0 from every IQS node, so a read miss at oqs0
+        # must retransmit its validation rounds until the window heals.
+        if args.protocol in ("dqvl", "basic_dq"):
+            groups = (("oqs0",), tuple(f"iqs{k}" for k in range(args.edges)))
+        else:
+            groups = (("srv0",), tuple(f"srv{k}" for k in range(1, args.edges)))
+        schedule = FaultSchedule([
+            Fault.make("partition", start=start, duration=duration,
+                       groups=groups)
+        ])
+
+    config = ExperimentConfig(
+        protocol=args.protocol,
+        write_ratio=args.write_ratio,
+        locality=args.locality,
+        ops_per_client=args.ops,
+        num_clients=args.clients,
+        num_edges=args.edges,
+        seed=args.seed,
+        trace=True,
+        fault_schedule=schedule,
+    )
+    result = run_response_time(config)
+    obs = result.obs
+    assert obs is not None
+    if args.export == "chrome":
+        text = spans_to_chrome(obs.tracer, faults=schedule,
+                               span_filter=args.span_filter)
+    else:
+        text = spans_to_jsonl(obs.tracer, faults=schedule,
+                              span_filter=args.span_filter,
+                              metrics=obs.metrics)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        print(
+            f"{args.export} trace ({len(obs.tracer.spans)} spans, "
+            f"{len(obs.tracer.events)} events) written to {args.out}",
+            file=sys.stderr,
+        )
+        if args.export == "chrome":
+            print("open it at https://ui.perfetto.dev or chrome://tracing",
+                  file=sys.stderr)
+    else:
+        print(text)
+    if args.top_slow > 0:
+        print(format_top_slow(obs.tracer, n=args.top_slow), file=sys.stderr)
+    return 0
+
+
 def _cmd_protocols(_args) -> int:
     print("response-time protocols:", ", ".join(sorted(PROTOCOL_DEPLOYERS)))
     print("figures:", ", ".join(sorted(FIGURES)))
@@ -397,6 +521,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sweep": _cmd_sweep,
         "report": _cmd_report,
         "chaos": _cmd_chaos,
+        "trace": _cmd_trace,
         "protocols": _cmd_protocols,
     }
     return handlers[args.command](args)

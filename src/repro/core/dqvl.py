@@ -181,7 +181,9 @@ class DqvlIqsNode(Node):
             self.writes_applied += 1
             if self.lease_policy is not None:
                 self.lease_policy.on_write(obj)
-        yield from self._ensure_owq_invalid(obj, lc, record_stats=fresh)
+        yield from self._ensure_owq_invalid(
+            obj, lc, record_stats=fresh, parent=msg.span_id
+        )
         self.reply(msg, payload={"obj": obj, "lc": lc})
 
     # -- OQS-facing handlers -----------------------------------------------------
@@ -319,13 +321,23 @@ class DqvlIqsNode(Node):
             return "expired"
         return "valid"
 
-    def _ensure_owq_invalid(self, obj: str, lc: LogicalClock, record_stats: bool = True):
+    def _ensure_owq_invalid(self, obj: str, lc: LogicalClock,
+                            record_stats: bool = True,
+                            parent: Optional[int] = None):
         """The write-side while-loop: block until an OQS *write quorum*
         cannot read the old version of *obj* (ack / delayed / expiry)."""
         volume = self.volume_of(obj)
         interval = self.config.inval_initial_timeout_ms
         ack_event = self.sim.future(name=f"{self.node_id}:ack:{obj}")
         sent_any = False
+        obs_tracer = self.obs_tracer
+        span = None
+        if obs_tracer is not None:
+            # Parented on the dq_write request: the causal tree shows
+            # which write's invalidations blocked which caches.
+            span = obs_tracer.span("invalidate", category="inval",
+                                   node=self.node_id, parent=parent,
+                                   key=obj, lc=str(lc))
 
         def on_inval_reply(future) -> None:
             if future.failed:
@@ -364,12 +376,17 @@ class DqvlIqsNode(Node):
                         obj=obj,
                         lc=str(lc),
                     )
+                if span is not None:
+                    span.finish(
+                        outcome="through" if sent_any else "suppressed"
+                    )
                 return
 
             # Invalidate the still-valid holders; retransmission happens by
             # falling through this loop again after `interval`.
             for j in awaiting:
-                self.send_inval(j, obj, lc, interval, on_inval_reply)
+                self.send_inval(j, obj, lc, interval, on_inval_reply,
+                                span=span.span_id if span is not None else None)
             sent_any = True
 
             # Wake on the first ack, or when the earliest relevant volume
@@ -386,7 +403,8 @@ class DqvlIqsNode(Node):
             interval = min(interval * self.config.qrpc_backoff, self.config.qrpc_max_timeout_ms)
 
     def send_inval(self, oqs_node: str, obj: str, lc: LogicalClock,
-                   timeout: float, on_reply) -> None:
+                   timeout: float, on_reply,
+                   span: Optional[int] = None) -> None:
         """Send one object invalidation and register the ack handler."""
         self.invals_sent += 1
         future = self.call(
@@ -394,6 +412,7 @@ class DqvlIqsNode(Node):
             "inval",
             {"obj": obj, "lc": lc, "vol": self.volume_of(obj)},
             timeout=timeout,
+            span=span,
         )
         future.add_callback(on_reply)
 
@@ -483,20 +502,27 @@ class DqvlOqsNode(Node):
         """processReadRequest: serve locally when valid, else run the
         renewal variation of QRPC until Condition C holds."""
         obj: str = msg["obj"]
+        obs_tracer = self.obs_tracer
         self._note_interest(obj)
         if self.is_local_valid(obj):
             self.read_hits += 1
             value, lc = self.local_value(obj)
             self.tracer.emit(self.node_id, "read_hit", obj=obj, lc=str(lc))
+            if obs_tracer is not None:
+                obs_tracer.event("read_hit", span=msg.span_id,
+                                 node=self.node_id, key=obj)
             self.reply(msg, payload={"obj": obj, "value": value, "lc": lc, "hit": True})
             return
         self.read_misses += 1
         self.tracer.emit(self.node_id, "read_miss", obj=obj)
-        yield from self.ensure_validated(obj)
+        if obs_tracer is not None:
+            obs_tracer.event("read_miss", span=msg.span_id,
+                             node=self.node_id, key=obj)
+        yield from self.ensure_validated(obj, parent=msg.span_id)
         value, lc = self.local_value(obj)
         self.reply(msg, payload={"obj": obj, "value": value, "lc": lc, "hit": False})
 
-    def ensure_validated(self, obj: str):
+    def ensure_validated(self, obj: str, parent: Optional[int] = None):
         """Wait until the object is locally valid, coalescing concurrent
         validations: a read storm hitting a just-invalidated object must
         produce ONE renewal exchange, not one per reader (the classic
@@ -506,9 +532,9 @@ class DqvlOqsNode(Node):
         while not self.is_local_valid(obj):
             inflight = self._validating.get(obj)
             if inflight is None or inflight.done:
-                def runner(obj=obj):
+                def runner(obj=obj, parent=parent):
                     try:
-                        yield from self.validate_local(obj)
+                        yield from self.validate_local(obj, parent=parent)
                     finally:
                         self._validating.pop(obj, None)
 
@@ -520,7 +546,7 @@ class DqvlOqsNode(Node):
                 self.validations_coalesced += 1
             yield inflight
 
-    def validate_local(self, obj: str):
+    def validate_local(self, obj: str, parent: Optional[int] = None):
         """The paper's QRPC variation: per-target renewal requests (volume,
         object, or both) repeated until Condition C becomes true.
 
@@ -530,6 +556,14 @@ class DqvlOqsNode(Node):
         objects instead of spreading leases across random quorums.
         """
         volume = self.volume_of(obj)
+        obs_tracer = self.obs_tracer
+        span = None
+        if obs_tracer is not None:
+            # Parented on the read that missed (coalesced readers attach
+            # to the first miss's validation).
+            span = obs_tracer.span("validate", category="lease",
+                                   node=self.node_id, parent=parent,
+                                   key=obj, vol=volume)
 
         def sticky_targets():
             now = self.clock.now()
@@ -562,6 +596,7 @@ class DqvlOqsNode(Node):
             max_timeout_ms=self.config.qrpc_max_timeout_ms,
             max_attempts=self.config.client_max_attempts,
             sample_targets=sticky_targets,
+            span=span,
         )
         # Renewal replies mutate node state; QuorumCall only gathers the
         # messages, so interpose handlers through the reply payloads.
@@ -578,7 +613,14 @@ class DqvlOqsNode(Node):
             return handle
 
         call._make_reply_handler = handler_factory  # type: ignore[method-assign]
-        yield from call.run()
+        try:
+            yield from call.run()
+        except Exception:
+            if span is not None:
+                span.finish(status="failed")
+            raise
+        if span is not None:
+            span.finish(status="ok")
 
     def _apply_renewal_reply(self, reply: Message) -> None:
         """Dispatch a renewal reply to the lease view (vl / obj / both)."""
@@ -683,7 +725,6 @@ class DqvlOqsNode(Node):
         """Renew the volume lease from every member of an IQS read quorum
         whose grant is stale (used by the keeper, off the read path).
         Sticky toward the currently held servers."""
-
         def sticky_targets():
             now = self.clock.now()
             held = {
@@ -712,6 +753,15 @@ class DqvlOqsNode(Node):
             }
             return self.iqs.is_read_quorum(fresh)
 
+        obs_tracer = self.obs_tracer
+        span = None
+        if obs_tracer is not None and not done(None):
+            # Only trace renewals that will actually send something: the
+            # keeper polls often and QuorumCall returns vacuously when a
+            # fresh read quorum is already held.
+            span = obs_tracer.span("renew_volume", category="lease",
+                                   node=self.node_id, vol=volume)
+
         call = QuorumCall(
             self,
             self.iqs,
@@ -723,6 +773,7 @@ class DqvlOqsNode(Node):
             max_timeout_ms=self.config.qrpc_max_timeout_ms,
             max_attempts=3,
             sample_targets=sticky_targets,
+            span=span,
         )
         original_handler = call._make_reply_handler
 
@@ -742,7 +793,11 @@ class DqvlOqsNode(Node):
         except Exception:
             # Keeper renewals are best-effort; the read path renews on
             # demand if the keeper could not reach a quorum.
-            pass
+            if span is not None:
+                span.finish(status="failed")
+        else:
+            if span is not None:
+                span.finish(status="ok")
 
 
 class DqvlClient(Node):
@@ -784,15 +839,26 @@ class DqvlClient(Node):
     def read(self, obj: str):
         """Client read: QRPC(OQS, READ); return the highest-clock reply."""
         start = self.sim.now
-        replies = yield from qrpc(
-            self, self.oqs, READ, "dq_read", {"obj": obj},
-            **self._qrpc_config(self.prefer_oqs),
-        )
+        tracer = self.obs_tracer
+        span = None
+        if tracer is not None:
+            span = tracer.span("read", category="op", node=self.node_id, key=obj)
+        try:
+            replies = yield from qrpc(
+                self, self.oqs, READ, "dq_read", {"obj": obj},
+                span=span, **self._qrpc_config(self.prefer_oqs),
+            )
+        except Exception:
+            if span is not None:
+                span.finish(status="rejected")
+            raise
         best: Optional[Message] = None
         for reply in replies.values():
             if best is None or reply["lc"] > best["lc"]:
                 best = reply
         assert best is not None
+        if span is not None:
+            span.finish(status="ok", hit=best.get("hit"), server=best.src)
         return ReadResult(
             key=obj,
             value=best["value"],
@@ -808,22 +874,34 @@ class DqvlClient(Node):
         """Client write: read the highest logical clock from an IQS read
         quorum, advance it, and write to an IQS write quorum."""
         start = self.sim.now
-        replies = yield from qrpc(
-            self, self.iqs, READ, "lc_read", {},
-            **self._qrpc_config(self.prefer_iqs),
-        )
-        highest = max((r["lc"] for r in replies.values()), default=ZERO_LC)
-        highest = max(highest, self._lc_seen)
-        lc = highest.next(self.node_id)
-        self._lc_seen = lc
-        yield from qrpc(
-            self,
-            self.iqs,
-            WRITE,
-            "dq_write",
-            {"obj": obj, "value": value, "lc": lc},
-            **self._qrpc_config(self.prefer_iqs),
-        )
+        tracer = self.obs_tracer
+        span = None
+        if tracer is not None:
+            span = tracer.span("write", category="op", node=self.node_id, key=obj)
+        try:
+            replies = yield from qrpc(
+                self, self.iqs, READ, "lc_read", {},
+                span=span, **self._qrpc_config(self.prefer_iqs),
+            )
+            highest = max((r["lc"] for r in replies.values()), default=ZERO_LC)
+            highest = max(highest, self._lc_seen)
+            lc = highest.next(self.node_id)
+            self._lc_seen = lc
+            yield from qrpc(
+                self,
+                self.iqs,
+                WRITE,
+                "dq_write",
+                {"obj": obj, "value": value, "lc": lc},
+                span=span,
+                **self._qrpc_config(self.prefer_iqs),
+            )
+        except Exception:
+            if span is not None:
+                span.finish(status="rejected")
+            raise
+        if span is not None:
+            span.finish(status="ok", lc=str(lc))
         return WriteResult(
             key=obj,
             value=value,

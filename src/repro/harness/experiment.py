@@ -14,10 +14,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
+from ..chaos.faults import FaultSchedule
 from ..consistency.history import History
 from ..core.config import DqvlConfig
 from ..edge.deployments import PROTOCOL_DEPLOYERS, Deployment
 from ..edge.topology import EdgeTopology, EdgeTopologyConfig
+from ..obs import Observability
 from ..sim.kernel import Simulator, all_of
 from ..workload.generators import BernoulliOpStream, FixedKeyChooser, MarkovBurstStream
 from ..workload.runner import closed_loop
@@ -52,6 +54,11 @@ class ExperimentConfig:
     topology: EdgeTopologyConfig = field(default_factory=EdgeTopologyConfig)
     #: simulated-time safety limit
     time_limit_ms: float = 3_600_000.0
+    #: opt-in observability: span tracing + metrics (see repro.obs)
+    trace: bool = False
+    #: optional fault windows installed before the workload starts —
+    #: lets `repro trace` show, e.g., a read miss inside a partition
+    fault_schedule: Optional[FaultSchedule] = None
 
     def __post_init__(self) -> None:
         if self.protocol not in PROTOCOL_DEPLOYERS:
@@ -77,6 +84,9 @@ class ExperimentResult:
     sim_time_ms: float
     deployment: Deployment
     warmup_history: Optional[History] = None
+    #: populated when ``config.trace`` was set: the run's Observability
+    #: context (span tracer + metrics), ready for the repro.obs exporters
+    obs: Optional[Observability] = None
 
     @property
     def messages_per_request(self) -> float:
@@ -165,6 +175,12 @@ def run_response_time(config: ExperimentConfig) -> ExperimentResult:
     deployer = PROTOCOL_DEPLOYERS[config.protocol]
     deployment = deployer(topology, **config.deploy_kwargs)
 
+    obs: Optional[Observability] = None
+    if config.trace:
+        obs = Observability(sim).install(topology.network)
+    if config.fault_schedule is not None:
+        config.fault_schedule.install(sim, topology.network)
+
     history = History()
     warmup_history = History()
     processes = []
@@ -223,6 +239,9 @@ def run_response_time(config: ExperimentConfig) -> ExperimentResult:
     else:
         prorated = 0.0
 
+    if obs is not None:
+        obs.finalize(topology.network, deployment)
+
     return ExperimentResult(
         config=config,
         history=history,
@@ -232,4 +251,5 @@ def run_response_time(config: ExperimentConfig) -> ExperimentResult:
         sim_time_ms=sim.now,
         deployment=deployment,
         warmup_history=warmup_history,
+        obs=obs,
     )

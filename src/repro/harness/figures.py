@@ -14,6 +14,7 @@ from typing import Dict, List, Sequence, Tuple
 from ..analysis.availability import protocol_unavailability
 from ..analysis.overhead import protocol_messages_per_request
 from .experiment import ExperimentConfig
+from .metrics import HistorySummary
 from .sweeps import run_sweep
 
 __all__ = ["FIGURES", "generate_figure"]
@@ -61,9 +62,8 @@ def _per_protocol_panel(config_for, ops: int, seed: int) -> FigureData:
         configs.append(cfg)
     series: Dict[str, List[float]] = {}
     for protocol, point in zip(RESPONSE_PROTOCOLS, run_sweep(configs)):
-        s = point.summary
-        series[protocol] = [s.overall.mean, s.reads.mean, s.writes.mean]
-    return ("metric", ["overall_ms", "read_ms", "write_ms"], series)
+        series[protocol] = point.summary.row()
+    return ("metric", list(HistorySummary.ROW_COLUMNS), series)
 
 
 def fig6a(ops: int = 150, seed: int = 2005) -> FigureData:

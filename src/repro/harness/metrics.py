@@ -13,25 +13,35 @@ __all__ = ["LatencyStats", "HistorySummary", "summarize"]
 
 @dataclass
 class LatencyStats:
-    """Summary statistics over a latency sample (milliseconds)."""
+    """Summary statistics over a latency sample (milliseconds).
+
+    ``p50`` is an alias of ``median`` kept as a real field so cached
+    sweep points and JSON payloads carry the same column names the
+    dashboards print.
+    """
 
     count: int
     mean: float
     median: float
     p95: float
     maximum: float
+    p50: float = 0.0
+    p99: float = 0.0
 
     @classmethod
     def from_samples(cls, samples: Sequence[float]) -> "LatencyStats":
         if not samples:
             return cls(count=0, mean=0.0, median=0.0, p95=0.0, maximum=0.0)
         ordered = sorted(samples)
+        median = _percentile(ordered, 0.5)
         return cls(
             count=len(ordered),
             mean=sum(ordered) / len(ordered),
-            median=_percentile(ordered, 0.5),
+            median=median,
             p95=_percentile(ordered, 0.95),
             maximum=ordered[-1],
+            p50=median,
+            p99=_percentile(ordered, 0.99),
         )
 
 
@@ -54,13 +64,26 @@ class HistorySummary:
     failures: int
     availability: float
 
+    #: column names matching :meth:`row`, shared by figure benches and
+    #: the observability dashboards
+    ROW_COLUMNS = [
+        "overall_ms",
+        "read_ms",
+        "write_ms",
+        "availability",
+        "read_hit_rate",
+    ]
+
     def row(self) -> List[float]:
-        """The columns printed by the figure benches."""
+        """The columns printed by the figure benches (see
+        :data:`ROW_COLUMNS`); hit rate is 0 for protocols that do not
+        report hits."""
         return [
             self.overall.mean,
             self.reads.mean,
             self.writes.mean,
             self.availability,
+            self.read_hit_rate if self.read_hit_rate is not None else 0.0,
         ]
 
 

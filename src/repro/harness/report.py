@@ -7,9 +7,6 @@ figure panels (and, optionally, the measured-availability cross-check),
 renders each as a table plus an ASCII chart, and writes a
 self-contained markdown report — the quickest way to re-derive
 EXPERIMENTS.md's numbers on a new machine or after a protocol change.
-
-This module absorbed the former ``repro.harness.reporting``; that name
-remains importable as a deprecation shim.
 """
 
 from __future__ import annotations

@@ -127,6 +127,9 @@ class ChaosPoint:
     stats: Dict[str, Any]
     schedule: List[Dict[str, Any]]  # FaultSchedule JSON form
     extras: Dict[str, Any] = field(default_factory=dict)
+    #: deterministic span exports, present when ``config.trace`` is set
+    trace_jsonl: Optional[str] = None
+    trace_chrome: Optional[str] = None
     from_cache: bool = False
 
     @property
@@ -244,6 +247,8 @@ def _compute_point(config: SweepConfig,
             "violations": result.violations,
             "stats": result.stats,
             "schedule": result.schedule.to_json_obj(),
+            "trace_jsonl": result.trace_jsonl,
+            "trace_chrome": result.trace_chrome,
             "extras": collect(result) if collect is not None else {},
         }
     result = run_availability_sim(config)
@@ -284,6 +289,8 @@ def _rebuild_point(config: SweepConfig, data: Dict[str, Any],
             stats=data["stats"],
             schedule=data["schedule"],
             extras=data.get("extras") or {},
+            trace_jsonl=data.get("trace_jsonl"),
+            trace_chrome=data.get("trace_chrome"),
             from_cache=from_cache,
         )
     return AvailabilityPoint(

@@ -1,0 +1,47 @@
+"""Unified observability: causal spans, metrics, timeline exporters.
+
+The layer is opt-in end to end.  A disabled run carries exactly one
+extra attribute (``Network.obs is None``) and the kernel is untouched,
+so the PR-1 microbench gate guards the zero-overhead claim.  When
+enabled, :class:`~repro.obs.probes.Observability` threads span ids
+through message metadata to build a causal op→round→message tree, and
+the exporters in :mod:`repro.obs.export` render it as deterministic
+JSONL or a Perfetto-loadable Chrome trace.
+"""
+
+from .export import format_top_slow, select_spans, spans_to_chrome, spans_to_jsonl
+from .metrics import (
+    DEPTH_BUCKETS,
+    LATENCY_BUCKETS_MS,
+    NULL_METRICS,
+    SIZE_BUCKETS_BYTES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
+from .probes import KernelProbe, Observability, collect_protocol_metrics
+from .spans import Span, SpanEvent, SpanTracer
+
+__all__ = [
+    "Span",
+    "SpanEvent",
+    "SpanTracer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NULL_METRICS",
+    "LATENCY_BUCKETS_MS",
+    "SIZE_BUCKETS_BYTES",
+    "DEPTH_BUCKETS",
+    "Observability",
+    "KernelProbe",
+    "collect_protocol_metrics",
+    "spans_to_jsonl",
+    "spans_to_chrome",
+    "select_spans",
+    "format_top_slow",
+]

@@ -1,0 +1,209 @@
+"""The observability context and its kernel/network/protocol probes.
+
+:class:`Observability` bundles one :class:`~repro.obs.spans.SpanTracer`
+and one :class:`~repro.obs.metrics.MetricsRegistry` for a run and hooks
+them into the layers below:
+
+* **network probes** — installed by :meth:`Observability.install`
+  (sets ``network.obs``); the network then reports every accepted send,
+  delivery, and drop, feeding per-kind message/byte counters, per-kind
+  delivery-latency histograms, and drop/duplicate/unknown-destination
+  counters, plus ``msg_send``/``msg_recv`` span events that attach each
+  message to the span threaded through its metadata;
+* **kernel probes** — a self-rescheduling sampler
+  (:class:`KernelProbe`) records ready-deque and timer-heap depth
+  histograms while the simulation runs, without touching the kernel's
+  hot loop (the kernel itself is unmodified: with observability off the
+  microbench-gated fast lane executes exactly the seed's instructions);
+* **protocol probes** — :meth:`Observability.finalize` scrapes the
+  protocol counters every node already maintains (hits/misses, renewal
+  and invalidation rates, epochs, quorum sizes contacted) into gauges.
+
+Everything here is deterministic: probes read simulation state only, so
+two runs with the same seed produce identical snapshots.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..sim.kernel import Simulator
+from ..sim.messages import Message
+from .metrics import (
+    DEPTH_BUCKETS,
+    LATENCY_BUCKETS_MS,
+    SIZE_BUCKETS_BYTES,
+    MetricsRegistry,
+)
+from .spans import SpanTracer
+
+__all__ = ["Observability", "KernelProbe", "collect_protocol_metrics"]
+
+
+class KernelProbe:
+    """Samples kernel queue depths every *interval_ms* of simulated time.
+
+    The probe reschedules itself only while other work is pending, so it
+    never keeps an otherwise-drained simulation alive (and never changes
+    when the run ends).
+    """
+
+    def __init__(self, sim: Simulator, metrics: MetricsRegistry,
+                 interval_ms: float = 100.0) -> None:
+        if interval_ms <= 0:
+            raise ValueError("interval_ms must be positive")
+        self.sim = sim
+        self.interval_ms = interval_ms
+        self.samples = 0
+        self._ready_depth = metrics.histogram("kernel.ready_depth", DEPTH_BUCKETS)
+        self._timer_depth = metrics.histogram("kernel.timer_depth", DEPTH_BUCKETS)
+        sim.schedule(interval_ms, self._tick)
+
+    def _tick(self) -> None:
+        self.samples += 1
+        self._ready_depth.observe(float(len(self.sim._ready)))
+        self._timer_depth.observe(float(len(self.sim._queue)))
+        if self.sim._ready or self.sim._queue:
+            self.sim.schedule(self.interval_ms, self._tick)
+
+
+class Observability:
+    """One run's tracer + metrics registry, with layer hooks.
+
+    Build one, :meth:`install` it on the network, run the simulation,
+    then :meth:`finalize` to scrape end-of-run kernel and protocol
+    state.  The exporters in :mod:`repro.obs.export` consume the
+    resulting :attr:`tracer` and :attr:`metrics`.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        tracer: Optional[SpanTracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        max_records: Optional[int] = None,
+    ) -> None:
+        self.sim = sim
+        self.tracer = tracer or SpanTracer(sim, max_records=max_records)
+        self.metrics = metrics or MetricsRegistry()
+        self.kernel_probe: Optional[KernelProbe] = None
+
+    # -- wiring -----------------------------------------------------------
+
+    def install(self, network, kernel_probe_interval_ms: Optional[float] = 100.0):
+        """Attach to *network* and start the kernel sampler."""
+        network.obs = self
+        if kernel_probe_interval_ms is not None:
+            self.kernel_probe = KernelProbe(
+                self.sim, self.metrics, kernel_probe_interval_ms
+            )
+        return self
+
+    # -- network hooks (called by Network when ``network.obs`` is set) ----
+
+    def on_send(self, message: Message, size: int) -> None:
+        self.metrics.counter("net.messages", kind=message.kind).inc()
+        if size:
+            self.metrics.counter("net.bytes", kind=message.kind).inc(size)
+            self.metrics.histogram(
+                "net.message_bytes", SIZE_BUCKETS_BYTES, kind=message.kind
+            ).observe(float(size))
+        self.tracer.event(
+            "msg_send", span=message.span_id, node=message.src,
+            kind=message.kind, msg=message.msg_id, dst=message.dst,
+        )
+
+    def on_deliver(self, message: Message) -> None:
+        self.metrics.histogram(
+            "net.delivery_latency_ms", LATENCY_BUCKETS_MS, kind=message.kind
+        ).observe(self.sim.now - message.send_time)
+        self.tracer.event(
+            "msg_recv", span=message.span_id, node=message.dst,
+            kind=message.kind, msg=message.msg_id, src=message.src,
+        )
+
+    def on_drop(self, message: Message, reason: str) -> None:
+        self.metrics.counter("net.dropped", reason=reason).inc()
+        self.tracer.event(
+            "msg_drop", span=message.span_id, node=message.dst,
+            kind=message.kind, msg=message.msg_id, reason=reason,
+        )
+
+    def on_duplicate(self, message: Message) -> None:
+        self.metrics.counter("net.duplicated", kind=message.kind).inc()
+
+    # -- end-of-run scrape ------------------------------------------------
+
+    def finalize(self, network=None, deployment=None) -> "Observability":
+        """Record end-of-run kernel, network, and protocol metrics."""
+        sim = self.sim
+        self.metrics.gauge("kernel.events_processed").set(float(sim.events_processed))
+        if sim.now > 0:
+            self.metrics.gauge("kernel.events_per_sim_sec").set(
+                sim.events_processed / (sim.now / 1000.0)
+            )
+        if network is not None:
+            stats = network.stats
+            self.metrics.gauge("net.total_messages").set(float(stats.total_messages))
+            self.metrics.gauge("net.total_bytes").set(float(stats.total_bytes))
+            self.metrics.gauge("net.dropped_total").set(float(stats.dropped))
+            self.metrics.gauge("net.duplicated_total").set(float(stats.duplicated))
+            self.metrics.gauge("net.unknown_destination").set(
+                float(stats.unknown_destination)
+            )
+        if deployment is not None:
+            collect_protocol_metrics(deployment, self.metrics)
+        return self
+
+
+#: node counter attribute -> metric name scraped by the protocol probe
+_NODE_COUNTERS = (
+    ("read_hits", "proto.read_hits"),
+    ("read_misses", "proto.read_misses"),
+    ("renewals_sent", "proto.renewals_sent"),
+    ("renewals_served", "proto.renewals_served"),
+    ("invals_sent", "proto.invals_sent"),
+    ("invals_received", "proto.invals_received"),
+    ("validations_coalesced", "proto.validations_coalesced"),
+    ("writes_applied", "proto.writes_applied"),
+    ("writes_suppressed", "proto.writes_suppressed"),
+    ("writes_through", "proto.writes_through"),
+    ("delayed_enqueued", "proto.delayed_enqueued"),
+)
+
+
+def collect_protocol_metrics(deployment: Any, metrics: MetricsRegistry) -> None:
+    """Scrape per-node protocol counters into gauges.
+
+    Works for any deployment: nodes are discovered through the cluster
+    (IQS+OQS for dual-quorum protocols, ``servers`` otherwise) and only
+    the counters a node actually defines are recorded.  DQVL hit rate
+    and logical-clock epoch state get derived gauges on top.
+    """
+    cluster = deployment.cluster
+    if hasattr(cluster, "iqs_nodes"):
+        nodes = list(cluster.iqs_nodes) + list(cluster.oqs_nodes)
+    elif hasattr(cluster, "servers"):
+        nodes = list(cluster.servers)
+    else:  # pragma: no cover - all current clusters expose one of the two
+        nodes = []
+    hits = misses = 0
+    for node in nodes:
+        for attr, metric_name in _NODE_COUNTERS:
+            value = getattr(node, attr, None)
+            if value is not None:
+                metrics.gauge(metric_name, node=node.node_id).set(float(value))
+        hits += getattr(node, "read_hits", 0)
+        misses += getattr(node, "read_misses", 0)
+        epoch = getattr(node, "logical_clock", None)
+        if epoch is not None and hasattr(epoch, "counter"):
+            metrics.gauge("proto.logical_clock", node=node.node_id).set(
+                float(epoch.counter)
+            )
+        leases = getattr(node, "leases", None)
+        if leases is not None and hasattr(node, "live_callback_count"):
+            metrics.gauge("proto.live_callbacks", node=node.node_id).set(
+                float(node.live_callback_count())
+            )
+    if hits + misses:
+        metrics.gauge("proto.read_hit_rate").set(hits / (hits + misses))

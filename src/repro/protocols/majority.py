@@ -82,11 +82,23 @@ class MajorityClient(Node):
 
     def read(self, obj: str):
         start = self.sim.now
-        replies = yield from qrpc(
-            self, self.system, READ, "mq_read", {"obj": obj}, **self._config()
-        )
+        tracer = self.obs_tracer
+        span = None
+        if tracer is not None:
+            span = tracer.span("read", category="op", node=self.node_id, key=obj)
+        try:
+            replies = yield from qrpc(
+                self, self.system, READ, "mq_read", {"obj": obj},
+                span=span, **self._config()
+            )
+        except Exception:
+            if span is not None:
+                span.finish(status="rejected")
+            raise
         best = max(replies.values(), key=lambda r: r["lc"])
         self._lc_seen = self._lc_seen.merge(best["lc"])
+        if span is not None:
+            span.finish(status="ok", server=best.src)
         return ReadResult(
             key=obj,
             value=best["value"],
@@ -99,14 +111,27 @@ class MajorityClient(Node):
 
     def write(self, obj: str, value: Any):
         start = self.sim.now
-        replies = yield from qrpc(self, self.system, READ, "mq_lc", {}, **self._config())
-        highest = max((r["lc"] for r in replies.values()), default=ZERO_LC)
-        lc = max(highest, self._lc_seen).next(self.node_id)
-        self._lc_seen = lc
-        yield from qrpc(
-            self, self.system, WRITE, "mq_write",
-            {"obj": obj, "value": value, "lc": lc}, **self._config(),
-        )
+        tracer = self.obs_tracer
+        span = None
+        if tracer is not None:
+            span = tracer.span("write", category="op", node=self.node_id, key=obj)
+        try:
+            replies = yield from qrpc(self, self.system, READ, "mq_lc", {},
+                                      span=span, **self._config())
+            highest = max((r["lc"] for r in replies.values()), default=ZERO_LC)
+            lc = max(highest, self._lc_seen).next(self.node_id)
+            self._lc_seen = lc
+            yield from qrpc(
+                self, self.system, WRITE, "mq_write",
+                {"obj": obj, "value": value, "lc": lc},
+                span=span, **self._config(),
+            )
+        except Exception:
+            if span is not None:
+                span.finish(status="rejected")
+            raise
+        if span is not None:
+            span.finish(status="ok", lc=str(lc))
         return WriteResult(
             key=obj,
             value=value,

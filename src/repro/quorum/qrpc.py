@@ -90,6 +90,12 @@ class QuorumCall:
         a front end's co-located replica).  Defaults to the sender
         itself when it is a member of the system — the paper's
         "always transmit to the local node" policy.
+    span:
+        Optional parent causal span (a ``repro.obs`` Span or raw span
+        id).  When the sending node's network has observability
+        installed, each retransmission round opens a child span and the
+        round's messages carry that span id, producing the
+        op→round→message tree.
     """
 
     def __init__(
@@ -106,6 +112,7 @@ class QuorumCall:
         prefer: Optional[str] = None,
         sample_targets: Optional[Callable[[], FrozenSet[str]]] = None,
         broadcast_after: int = 2,
+        span=None,
     ) -> None:
         if mode not in (READ, WRITE):
             raise ValueError(f"mode must be READ or WRITE, got {mode!r}")
@@ -132,6 +139,8 @@ class QuorumCall:
         #: the paper's "more aggressive implementation might send to all
         #: nodes in system".  Decouples availability from sampling luck.
         self.broadcast_after = broadcast_after
+        #: parent span for causal tracing (Span object or raw id)
+        self.span: Optional[int] = getattr(span, "span_id", span)
         self.replies: Dict[str, Message] = {}
         self.attempts = 0
         self._completion: Optional[Future] = None
@@ -172,6 +181,8 @@ class QuorumCall:
         sim = self.node.sim
         interval = self.initial_timeout_ms
         self._completion = sim.future(name=f"qrpc:{self.node.node_id}")
+        obs = getattr(self.node.net, "obs", None)
+        tracer = obs.tracer if obs is not None else None
 
         if self.done(self.replies):
             # Degenerate but legal: the predicate may hold vacuously
@@ -184,6 +195,16 @@ class QuorumCall:
                 raise QrpcError(self.mode, self.attempts - 1)
 
             targets = self._sample_targets()
+            round_span = None
+            if tracer is not None:
+                round_span = tracer.span(
+                    "qrpc_round", category="qrpc", node=self.node.node_id,
+                    parent=self.span, mode=self.mode,
+                    attempt=self.attempts, targets=sorted(targets),
+                    broadcast=(self.sample_targets is None
+                               and self.attempts > self.broadcast_after),
+                )
+            call_span = round_span.span_id if round_span is not None else self.span
             # Iterate in sorted order: target sets are frozensets, whose
             # iteration order depends on the per-process string-hash
             # seed; sending in hash order would make traces differ
@@ -195,16 +216,23 @@ class QuorumCall:
                 if request is None:
                     continue
                 kind, payload = request
-                future = self.node.call(target, kind, payload, timeout=interval)
+                future = self.node.call(target, kind, payload, timeout=interval,
+                                        span=call_span)
                 future.add_callback(self._make_reply_handler(target))
 
             winner_index, _ = yield any_of(sim, [self._completion, sim.sleep(interval)])
             if winner_index == 0:
+                if round_span is not None:
+                    round_span.finish(outcome="quorum")
                 return self.replies
             if self.done(self.replies):
                 # The predicate may have become true through replies that
                 # raced with the timeout sleep.
+                if round_span is not None:
+                    round_span.finish(outcome="quorum")
                 return self.replies
+            if round_span is not None:
+                round_span.finish(outcome="timeout", replies=len(self.replies))
             interval = min(interval * self.backoff, self.max_timeout_ms)
 
     def _make_reply_handler(self, target: str) -> Callable[[Future], None]:
@@ -236,7 +264,8 @@ def qrpc(
 
     Returns a generator suitable for ``yield node.spawn(...)`` or
     ``yield from``; the result is ``{node_id: reply Message}`` containing
-    (at least) a full quorum of repliers.
+    (at least) a full quorum of repliers.  ``**config`` forwards to
+    :class:`QuorumCall`, including ``span=`` for causal tracing.
     """
     payload = payload or {}
     call = QuorumCall(

@@ -37,6 +37,11 @@ class Message:
         ``msg_id`` of the request this message responds to, or ``None``.
     send_time:
         Simulated time at which the message entered the network.
+    span_id:
+        Observability metadata: the id of the causal span (see
+        ``repro.obs``) this message belongs to, or ``None`` when tracing
+        is off or the sender is untraced.  Replies inherit the request's
+        span id so a whole RPC exchange attributes to one span.
     """
 
     src: str
@@ -46,6 +51,7 @@ class Message:
     msg_id: int = field(default_factory=lambda: next(_message_ids))
     reply_to: Optional[int] = None
     send_time: float = 0.0
+    span_id: Optional[int] = None
 
     def get(self, key: str, default: Any = None) -> Any:
         """Shorthand for ``payload.get``."""
@@ -66,6 +72,7 @@ class Message:
             payload=dict(self.payload),
             reply_to=self.reply_to,
             send_time=self.send_time,
+            span_id=self.span_id,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -223,6 +223,10 @@ class Network:
         self._dup_windows: Dict[int, float] = {}
         self._next_token = 1
         self._message_taps: list = []
+        #: optional observability context (``repro.obs.Observability``);
+        #: ``None`` — the default — means fully disabled, and every hook
+        #: site below is a single ``is not None`` check.
+        self.obs = None
 
     def _new_token(self) -> int:
         token = self._next_token
@@ -428,6 +432,8 @@ class Network:
         self.stats.record(message, size)
         for tap in self._message_taps:
             tap(message)
+        if self.obs is not None:
+            self.obs.on_send(message, size)
 
         if message.dst not in self._nodes:
             # Chaos schedules may address nodes a deployment never
@@ -435,19 +441,27 @@ class Network:
             # programming error.
             self.stats.dropped += 1
             self.stats.unknown_destination += 1
+            if self.obs is not None:
+                self.obs.on_drop(message, "unknown_destination")
             return
         if self.is_blocked(message.src, message.dst):
             self.stats.dropped += 1
+            if self.obs is not None:
+                self.obs.on_drop(message, "partition")
             return
         loss = self.effective_loss_probability(message.src, message.dst)
         if loss and self.sim.rng.random() < loss:
             self.stats.dropped += 1
+            if self.obs is not None:
+                self.obs.on_drop(message, "loss")
             return
 
         self._schedule_delivery(message)
         dup = self.effective_duplicate_probability()
         if dup and self.sim.rng.random() < dup:
             self.stats.duplicated += 1
+            if self.obs is not None:
+                self.obs.on_duplicate(message)
             self._schedule_delivery(message.duplicate())
 
     def _schedule_delivery(self, message: Message) -> None:
@@ -463,7 +477,11 @@ class Network:
         # it: a partition severs the physical path.
         if self.is_blocked(message.src, message.dst):
             self.stats.dropped += 1
+            if self.obs is not None:
+                self.obs.on_drop(message, "partition_in_flight")
             return
+        if self.obs is not None:
+            self.obs.on_deliver(message)
         node.deliver(message)
 
 

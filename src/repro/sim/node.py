@@ -90,26 +90,48 @@ class Node:
         state = "up" if self.alive else "down"
         return f"<{type(self).__name__} {self.node_id} {state}>"
 
+    # -- observability -----------------------------------------------------
+
+    @property
+    def obs_tracer(self):
+        """The network's span tracer, or ``None`` when observability is
+        off (the default) — protocol code guards with one ``is None``."""
+        obs = self.net.obs
+        return obs.tracer if obs is not None else None
+
     # -- sending ------------------------------------------------------------
 
     def send(self, dst: str, kind: str, payload: Optional[Dict[str, Any]] = None,
-             reply_to: Optional[int] = None) -> Optional[Message]:
-        """Send a one-way message; returns it, or ``None`` if crashed."""
+             reply_to: Optional[int] = None,
+             span: Optional[int] = None) -> Optional[Message]:
+        """Send a one-way message; returns it, or ``None`` if crashed.
+
+        *span* is an optional causal-span id (see :mod:`repro.obs`)
+        stamped onto the message so observability can attribute the send
+        and its delivery to the operation that caused it.
+        """
         if not self.alive:
             return None
         message = Message(src=self.node_id, dst=dst, kind=kind,
-                          payload=payload or {}, reply_to=reply_to)
+                          payload=payload or {}, reply_to=reply_to,
+                          span_id=span)
         self.net.send(message)
         return message
 
     def reply(self, request: Message, kind: Optional[str] = None,
               payload: Optional[Dict[str, Any]] = None) -> Optional[Message]:
-        """Respond to *request*; the reply correlates via ``reply_to``."""
+        """Respond to *request*; the reply correlates via ``reply_to``.
+
+        The reply inherits the request's span id, so a full RPC exchange
+        attributes to the span of the request's sender.
+        """
         return self.send(request.src, kind or (request.kind + "_reply"),
-                         payload, reply_to=request.msg_id)
+                         payload, reply_to=request.msg_id,
+                         span=request.span_id)
 
     def call(self, dst: str, kind: str, payload: Optional[Dict[str, Any]] = None,
-             timeout: Optional[float] = None) -> Future:
+             timeout: Optional[float] = None,
+             span: Optional[int] = None) -> Future:
         """Send a request and return a future for the reply message.
 
         The future resolves with the reply :class:`Message`.  With a
@@ -122,7 +144,7 @@ class Node:
         if not self.alive:
             self.sim.call_soon(future.fail, NodeCrashed(self.node_id))
             return future
-        message = self.send(dst, kind, payload)
+        message = self.send(dst, kind, payload, span=span)
         assert message is not None
         self._pending_rpcs[message.msg_id] = future
 

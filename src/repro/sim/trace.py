@@ -7,12 +7,19 @@ and so examples can narrate what happened.
 
 Tracing is opt-in and cheap when disabled: protocol code calls
 ``tracer.emit(...)`` through a shared no-op default.
+
+Long chaos campaigns can keep tracing on without unbounded growth: a
+``max_events`` ring buffer retains only the newest events, and an
+``allow`` predicate (or iterable of category names) filters at emission
+time.  For *causal* span tracing see :mod:`repro.obs` — this module is
+the flat event log.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional, Union
 
 from .kernel import Simulator
 
@@ -33,15 +40,51 @@ class TraceEvent:
         return f"[{self.time:10.2f} ms] {self.source:>12s} {self.category:<20s} {extras}"
 
 
-class Tracer:
-    """Collects :class:`TraceEvent` records in simulation order."""
+#: Either a predicate on (source, category) or a collection of allowed
+#: category names.
+AllowSpec = Union[Callable[[str, str], bool], Iterable[str], None]
 
-    def __init__(self, sim: Simulator) -> None:
+
+class Tracer:
+    """Collects :class:`TraceEvent` records in simulation order.
+
+    Parameters
+    ----------
+    sim:
+        The simulator whose clock timestamps events.
+    max_events:
+        Optional ring-buffer capacity: once full, each new event evicts
+        the oldest.  :attr:`emitted` still counts every accepted event,
+        so ``emitted - len(events)`` is the number evicted.
+    allow:
+        Optional filter applied before recording: a callable
+        ``(source, category) -> bool``, or an iterable of category names
+        to allow.  Filtered events count in :attr:`dropped`.
+    """
+
+    def __init__(self, sim: Simulator, max_events: Optional[int] = None,
+                 allow: AllowSpec = None) -> None:
+        if max_events is not None and max_events <= 0:
+            raise ValueError("max_events must be positive")
         self.sim = sim
-        self.events: List[TraceEvent] = []
+        self.events: "deque[TraceEvent]" = deque(maxlen=max_events)
+        self.max_events = max_events
+        if allow is None or callable(allow):
+            self._allow = allow
+        else:
+            allowed = frozenset(allow)
+            self._allow = lambda source, category: category in allowed
+        #: events accepted by the filter (including any later evicted)
+        self.emitted = 0
+        #: events rejected by the ``allow`` filter
+        self.dropped = 0
 
     def emit(self, source: str, category: str, **details: Any) -> None:
         """Record an event at the current simulated time."""
+        if self._allow is not None and not self._allow(source, category):
+            self.dropped += 1
+            return
+        self.emitted += 1
         self.events.append(TraceEvent(self.sim.now, source, category, details))
 
     def filter(self, category: Optional[str] = None, source: Optional[str] = None) -> List[TraceEvent]:
@@ -58,7 +101,9 @@ class Tracer:
 
     def dump(self, limit: Optional[int] = None) -> str:
         """Human-readable rendering of the trace (for examples/debugging)."""
-        events = self.events if limit is None else self.events[:limit]
+        events = list(self.events)
+        if limit is not None:
+            events = events[:limit]
         return "\n".join(str(e) for e in events)
 
 

@@ -140,3 +140,51 @@ class TestSweep:
             "--localities", "1.0", "--ops", "15", "--metric", "msgs",
         ]) == 0
         assert "msgs" in capsys.readouterr().out
+
+
+class TestTrace:
+    def test_p50_p99_in_run_payload(self, capsys):
+        assert main([
+            "run", "--protocol", "rowa", "--ops", "15", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["p50_ms"] <= payload["p95_ms"] <= payload["p99_ms"]
+
+    def test_trace_chrome_to_file(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        assert main([
+            "trace", "--ops", "5", "--clients", "1", "--edges", "3",
+            "--export", "chrome", "--out", str(out), "--top-slow", "2",
+        ]) == 0
+        doc = json.loads(out.read_text())
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
+        err = capsys.readouterr().err
+        assert "perfetto" in err
+        assert "slowest operations" in err
+
+    def test_trace_jsonl_to_stdout(self, capsys):
+        assert main([
+            "trace", "--ops", "5", "--clients", "1", "--edges", "3",
+            "--export", "jsonl", "--span-filter", "op",
+        ]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert records[0]["record"] == "meta"
+        assert all(r["category"] in ("op", "qrpc", "lease", "inval")
+                   for r in records if r["record"] == "span")
+
+    def test_trace_partition_annotates_faults(self, tmp_path):
+        out = tmp_path / "trace.json"
+        assert main([
+            "trace", "--ops", "5", "--clients", "1", "--edges", "3",
+            "--partition", "100:200", "--out", str(out),
+        ]) == 0
+        doc = json.loads(out.read_text())
+        faults = [e for e in doc["traceEvents"] if e.get("cat") == "fault"]
+        assert len(faults) == 1
+        assert faults[0]["name"] == "partition"
+        assert faults[0]["ts"] == 100_000.0
+
+    def test_trace_rejects_bad_partition_spec(self, capsys):
+        assert main(["trace", "--partition", "nope"]) == 2
+        assert "START:DUR" in capsys.readouterr().err

@@ -334,3 +334,53 @@ class TestMessage:
         m = Message(src="a", dst="b", kind="k", payload={"x": 1})
         assert m["x"] == 1
         assert m.get("y", "dflt") == "dflt"
+
+    def test_duplicate_preserves_span_id(self):
+        m = Message(src="a", dst="b", kind="k", span_id=42)
+        assert m.duplicate().span_id == 42
+
+
+class TestNetworkStats:
+    def test_copy_is_independent(self, sim):
+        net, a, b = make_pair(sim)
+        a.send("b", "data", {"n": 1})
+        sim.run()
+        snap = net.stats.copy()
+        assert snap.total_messages == 1
+        assert snap.by_kind["data"] == 1
+        a.send("b", "data", {"n": 2})
+        sim.run()
+        # later traffic must not leak into the earlier snapshot
+        assert snap.total_messages == 1
+        assert snap.by_kind["data"] == 1
+        assert net.stats.total_messages == 2
+        # nor may mutating the copy touch the live stats
+        snap.by_kind["data"] += 10
+        assert net.stats.by_kind["data"] == 2
+
+    def test_diff_yields_counters_since_snapshot(self, sim):
+        net, a, b = make_pair(sim)
+        a.send("b", "data", {"n": 1})
+        sim.run()
+        before = net.stats.copy()
+        a.send("b", "data", {"n": 2})
+        a.send("b", "ping", {"n": 3})
+        sim.run()
+        delta = net.stats.diff(before)
+        assert delta.total_messages == 3  # data + ping + ping's reply
+        assert delta.by_kind["data"] == 1
+        assert delta.by_kind["ping"] == 1
+        assert delta.by_pair[("a", "b")] == 2
+        # no phantom negative/zero-count keys from the subtraction
+        assert all(v > 0 for v in delta.by_kind.values())
+
+    def test_diff_of_drops(self, sim):
+        net, a, b = make_pair(sim)
+        before = net.stats.copy()
+        token = net.partition(["a"], ["b"])
+        a.send("b", "data", {"n": 1})
+        sim.run()
+        delta = net.stats.diff(before)
+        assert delta.dropped == 1
+        assert delta.total_messages == 1  # sends are recorded, then dropped
+        net.heal(token)

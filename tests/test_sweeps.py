@@ -192,18 +192,9 @@ class TestWorkersEnv:
         assert cache_dir() == str(tmp_path / "alt")
 
 
-class TestDeprecatedReportingShim:
-    def test_reporting_warns_and_reexports(self):
+class TestReportingShimRemoved:
+    def test_reporting_module_is_gone(self):
         import importlib
-        import warnings
 
-        import repro.harness.reporting as reporting
-        from repro.harness import report
-
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            importlib.reload(reporting)
-        assert any(w.category is DeprecationWarning for w in caught)
-        assert reporting.format_table is report.format_table
-        assert reporting.format_series is report.format_series
-        assert reporting.generate_report is report.generate_report
+        with pytest.raises(ModuleNotFoundError):
+            importlib.import_module("repro.harness.reporting")

@@ -1,0 +1,104 @@
+"""Unit tests for the flat event tracer (repro.sim.trace)."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.trace import NULL_TRACER, NullTracer, TraceEvent, Tracer
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=1)
+
+
+class TestTracerBasics:
+    def test_emit_records_time_source_category(self, sim):
+        tracer = Tracer(sim)
+        tracer.emit("oqs0", "read_hit", key="k0")
+        (event,) = tracer.events
+        assert isinstance(event, TraceEvent)
+        assert event.time == sim.now
+        assert event.source == "oqs0"
+        assert event.category == "read_hit"
+        assert event.details == {"key": "k0"}
+
+    def test_filter_and_count(self, sim):
+        tracer = Tracer(sim)
+        tracer.emit("a", "hit")
+        tracer.emit("b", "hit")
+        tracer.emit("a", "miss")
+        assert tracer.count("hit") == 2
+        assert [e.source for e in tracer.filter(category="hit")] == ["a", "b"]
+        assert [e.category for e in tracer.filter(source="a")] == ["hit", "miss"]
+        assert len(tracer.filter(category="hit", source="b")) == 1
+
+    def test_dump_respects_limit(self, sim):
+        tracer = Tracer(sim)
+        for i in range(5):
+            tracer.emit("n", "tick", i=i)
+        assert tracer.dump().count("\n") == 4
+        assert tracer.dump(limit=2).count("tick") == 2
+        assert tracer.dump(limit=None).count("tick") == 5
+
+
+class TestRingBuffer:
+    def test_max_events_evicts_oldest(self, sim):
+        tracer = Tracer(sim, max_events=3)
+        for i in range(5):
+            tracer.emit("n", "tick", i=i)
+        assert len(tracer.events) == 3
+        assert [e.details["i"] for e in tracer.events] == [2, 3, 4]
+        # every accepted event still counts, so eviction is measurable
+        assert tracer.emitted == 5
+        assert tracer.emitted - len(tracer.events) == 2
+
+    def test_max_events_must_be_positive(self, sim):
+        with pytest.raises(ValueError):
+            Tracer(sim, max_events=0)
+        with pytest.raises(ValueError):
+            Tracer(sim, max_events=-1)
+
+    def test_unbounded_by_default(self, sim):
+        tracer = Tracer(sim)
+        for i in range(100):
+            tracer.emit("n", "tick")
+        assert len(tracer.events) == 100
+
+
+class TestAllowFilter:
+    def test_iterable_of_categories(self, sim):
+        tracer = Tracer(sim, allow=["hit", "miss"])
+        tracer.emit("a", "hit")
+        tracer.emit("a", "renewal")
+        tracer.emit("a", "miss")
+        assert [e.category for e in tracer.events] == ["hit", "miss"]
+        assert tracer.emitted == 2
+        assert tracer.dropped == 1
+
+    def test_callable_predicate_sees_source_and_category(self, sim):
+        tracer = Tracer(sim, allow=lambda source, cat: source == "oqs0")
+        tracer.emit("oqs0", "hit")
+        tracer.emit("oqs1", "hit")
+        assert [e.source for e in tracer.events] == ["oqs0"]
+        assert tracer.dropped == 1
+
+    def test_allow_composes_with_ring_buffer(self, sim):
+        tracer = Tracer(sim, max_events=2, allow=["keep"])
+        for i in range(4):
+            tracer.emit("n", "keep", i=i)
+            tracer.emit("n", "drop")
+        assert [e.details["i"] for e in tracer.events] == [2, 3]
+        assert tracer.emitted == 4
+        assert tracer.dropped == 4
+
+
+class TestNullTracer:
+    def test_discards_everything(self):
+        tracer = NullTracer()
+        tracer.emit("a", "hit", key="k")
+        assert tracer.filter() == []
+        assert tracer.count("hit") == 0
+        assert tracer.dump() == ""
+
+    def test_shared_default_exists(self):
+        assert isinstance(NULL_TRACER, NullTracer)
