@@ -87,9 +87,17 @@ class _TapTracer:
 class InvariantMonitor:
     """Watches protocol nodes for invariant violations during a run."""
 
-    def __init__(self, sim: Simulator, sample_interval_ms: float = 100.0) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        sample_interval_ms: float = 100.0,
+        max_violations: int = MAX_VIOLATIONS,
+    ) -> None:
         self.sim = sim
         self.sample_interval_ms = sample_interval_ms
+        #: recording cap; the mc explorer lowers this to 1 because it
+        #: only needs "does this schedule violate?", not the pattern
+        self.max_violations = max_violations
         self.violations: List[InvariantViolation] = []
         self.samples_taken = 0
         self._nodes: List[Any] = []
@@ -130,7 +138,7 @@ class InvariantMonitor:
     # -- recording ---------------------------------------------------------
 
     def record(self, node: str, invariant: str, detail: str) -> None:
-        if len(self.violations) >= MAX_VIOLATIONS:
+        if len(self.violations) >= self.max_violations:
             return
         self.violations.append(
             InvariantViolation(self.sim.now, node, invariant, detail)

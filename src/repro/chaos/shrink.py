@@ -22,14 +22,58 @@ import dataclasses
 import json
 import os
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 from .campaign import ChaosRunConfig, run_chaos
 from .faults import Fault, FaultSchedule
 
-__all__ = ["ShrinkResult", "shrink_schedule", "save_repro", "load_repro"]
+__all__ = ["ShrinkResult", "ddmin", "shrink_schedule", "save_repro", "load_repro"]
 
 REPRO_FORMAT = 1
+
+T = TypeVar("T")
+
+
+def ddmin(
+    items: Sequence[T],
+    test: Callable[[List[T]], bool],
+    *,
+    should_continue: Optional[Callable[[], bool]] = None,
+) -> List[T]:
+    """Zeller's ddmin: a small subset of *items* for which *test* holds.
+
+    Generic core shared by the chaos schedule shrinker (items = fault
+    windows) and the ``repro.mc`` schedule shrinker (items = non-default
+    scheduling decisions).  *test* must be deterministic and already hold
+    for the full list; the caller handles memoization and budget
+    accounting — *should_continue* is polled before every probe, and
+    returning ``False`` stops early with the smallest failing subset
+    found so far (still a valid repro, just possibly not 1-minimal).
+    """
+    items = list(items)
+    if should_continue is None:
+        should_continue = lambda: True
+    n = 2
+    while len(items) >= 2 and should_continue():
+        chunk = max(1, (len(items) + n - 1) // n)
+        subsets = [items[i:i + chunk] for i in range(0, len(items), chunk)]
+        reduced = False
+        for i, subset in enumerate(subsets):
+            if not should_continue():
+                break
+            if test(subset):
+                items, n, reduced = subset, 2, True
+                break
+            complement = [x for s in subsets[:i] + subsets[i + 1:] for x in s]
+            if complement and test(complement):
+                items, reduced = complement, True
+                n = max(n - 1, 2)
+                break
+        if not reduced:
+            if n >= len(items):
+                break
+            n = min(len(items), 2 * n)
+    return items
 
 
 @dataclass
@@ -95,26 +139,11 @@ def shrink_schedule(
     if allow_empty and violations_of([]):
         faults = []
 
-    n = 2
-    while len(faults) >= 2 and runs < max_runs:
-        chunk = max(1, (len(faults) + n - 1) // n)
-        subsets = [faults[i:i + chunk] for i in range(0, len(faults), chunk)]
-        reduced = False
-        for i, subset in enumerate(subsets):
-            if runs >= max_runs:
-                break
-            if violations_of(subset):
-                faults, n, reduced = subset, 2, True
-                break
-            complement = [f for s in subsets[:i] + subsets[i + 1:] for f in s]
-            if complement and violations_of(complement):
-                faults, reduced = complement, True
-                n = max(n - 1, 2)
-                break
-        if not reduced:
-            if n >= len(faults):
-                break
-            n = min(len(faults), 2 * n)
+    faults = ddmin(
+        faults,
+        lambda subset: bool(violations_of(subset)),
+        should_continue=lambda: runs < max_runs,
+    )
 
     return ShrinkResult(
         config=config,

@@ -7,6 +7,7 @@ Commands
 ``run``          one response-time experiment with explicit parameters
 ``availability`` measured availability under Bernoulli outages
 ``chaos``        randomized chaos campaign with invariant checking
+``explore``      systematic schedule-space exploration (mini model checker)
 ``trace``        traced run exporting a causal op→round→message timeline
 ``protocols``    list the available protocols
 
@@ -18,6 +19,8 @@ Examples::
     python -m repro availability --protocol dqvl --p 0.15 --epochs 200
     python -m repro chaos --seeds 10 --protocols dqvl,majority
     python -m repro chaos --weaken ignore_volume_expiry --shrink
+    python -m repro explore --weaken ignore_volume_expiry --budget 2000 --save
+    python -m repro explore --strategy dfs --budget 300
     python -m repro trace --partition 200:400 --export chrome --out trace.json
     python -m repro trace --export jsonl --span-filter op --top-slow 5
 """
@@ -134,6 +137,37 @@ def build_parser() -> argparse.ArgumentParser:
                        help="export a span timeline per run (see --trace-dir)")
     chaos.add_argument("--trace-dir", default="results/chaos_traces",
                        help="where --trace writes JSONL + Chrome-trace files")
+
+    explore = sub.add_parser(
+        "explore",
+        help="systematic schedule-space exploration (repro.mc model checker)",
+    )
+    explore.add_argument("--protocol", choices=sorted(PROTOCOL_DEPLOYERS),
+                         default="dqvl")
+    explore.add_argument("--strategy", choices=["dfs", "walk"], default="walk",
+                         help="dfs: bounded depth-first over choice prefixes; "
+                              "walk: seeded random walks (default)")
+    explore.add_argument("--budget", type=int, default=500,
+                         help="maximum schedules to execute")
+    explore.add_argument("--seed", type=int, default=0)
+    explore.add_argument("--weaken", default="",
+                         help="inject a named protocol bug (harness self-test)")
+    explore.add_argument("--ops", type=int, default=6,
+                         help="operations per client (keep small: the state "
+                              "space is what gets explored)")
+    explore.add_argument("--clients", type=int, default=2)
+    explore.add_argument("--edges", type=int, default=2)
+    explore.add_argument("--p-deviate", type=float, default=0.15,
+                         help="walk: per-decision deviation probability")
+    explore.add_argument("--max-depth", type=int, default=40,
+                         help="dfs: branch only on the first N decisions")
+    explore.add_argument("--no-shrink", action="store_true",
+                         help="skip ddmin minimization of the witness")
+    explore.add_argument("--save", action="store_true",
+                         help="write the shrunk repro to --corpus-dir")
+    explore.add_argument("--corpus-dir", default="tests/mc_corpus",
+                         help="where --save writes the repro JSON")
+    explore.add_argument("--json", action="store_true")
 
     trace = sub.add_parser(
         "trace",
@@ -441,6 +475,73 @@ def _cmd_chaos(args) -> int:
     return 1 if failing else 0
 
 
+def _cmd_explore(args) -> int:
+    from .mc import McRunConfig, explore, save_mc_repro
+
+    config = McRunConfig(
+        protocol=args.protocol,
+        seed=args.seed,
+        weaken=args.weaken,
+        num_edges=args.edges,
+        num_clients=args.clients,
+        ops_per_client=args.ops,
+    )
+    result = explore(
+        config,
+        strategy=args.strategy,
+        budget=args.budget,
+        p_deviate=args.p_deviate,
+        max_depth=args.max_depth,
+        shrink=not args.no_shrink,
+    )
+    saved_path = None
+    if args.save and result.witness is not None:
+        saved_path = save_mc_repro(result, args.corpus_dir)
+
+    if args.json:
+        payload = {
+            "protocol": args.protocol,
+            "seed": args.seed,
+            "weaken": args.weaken,
+            "strategy": result.strategy,
+            "runs": result.runs,
+            "shrink_runs": result.shrink_runs,
+            "ok": result.ok,
+        }
+        if result.shrunk is not None:
+            payload.update({
+                "violation_types": result.shrunk.expected_types,
+                "deviations": result.shrunk.stats["deviations"],
+                "choices": result.shrunk.choices,
+                "violations": result.shrunk.violations,
+            })
+        if saved_path:
+            payload["repro"] = saved_path
+        print(json.dumps(payload, indent=2))
+    elif result.ok:
+        print(
+            f"{args.protocol}"
+            + (f" (weakened: {args.weaken})" if args.weaken else "")
+            + f": no violation in {result.runs} {result.strategy} schedules"
+        )
+    else:
+        shrunk = result.shrunk
+        print(
+            f"{args.protocol}"
+            + (f" (weakened: {args.weaken})" if args.weaken else "")
+            + f": VIOLATION after {result.runs} {result.strategy} schedule(s)"
+        )
+        print(
+            f"  shrunk to {shrunk.stats['deviations']} scheduling deviation(s) "
+            f"in {result.shrink_runs} runs; types: {shrunk.expected_types}"
+        )
+        for v in shrunk.violations[:3]:
+            print(f"  - {v.get('type')}: {v.get('detail', '')}")
+        if saved_path:
+            print(f"  repro saved to {saved_path}")
+    return 0 if result.ok else 1
+
+
 def _cmd_trace(args) -> int:
     from .obs import format_top_slow, spans_to_chrome, spans_to_jsonl
 
@@ -521,6 +622,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sweep": _cmd_sweep,
         "report": _cmd_report,
         "chaos": _cmd_chaos,
+        "explore": _cmd_explore,
         "trace": _cmd_trace,
         "protocols": _cmd_protocols,
     }

@@ -28,6 +28,36 @@ before the holder does, in real time); widening the granter's wait by
 ``(1 + maxDrift)`` restores the invariant that the granter never
 considers a lease expired while the holder still considers it valid.
 EXPERIMENTS.md and the property tests cover this corner.
+
+Boundary semantics
+------------------
+At the exact expiry instant (``now == expires``, reachable whenever
+``max_drift == 0``) the two sides deliberately disagree, each erring in
+its own safe direction — the **asymmetric-conservative** boundary:
+
+* the **granter** counts ``==`` as *unexpired*
+  (:meth:`IqsLeaseTable.is_expired` and
+  :meth:`ObjectLeaseTable.is_expired` use ``expires < now``): it keeps
+  waiting for the holder, so a write can never complete while a holder
+  could still legitimately serve the old version;
+* the **holder** counts ``==`` as *expired*
+  (:meth:`OqsLeaseView.volume_valid` uses ``expires > now``): it stops
+  serving reads under the lease, so it never serves at an instant the
+  granter might already have written off.
+
+Both tie-breaks sacrifice one instant of availability, never safety.
+The reverse assignment on either side would let a read at ``t ==
+expires`` be served by a holder the granter simultaneously counts as
+unable to read — exactly the regular-register violation DQVL's
+Condition C exists to prevent.  ``tests/test_leases.py`` pins the
+boundary at ``max_drift=0``.
+
+Acknowledgement clocks are **inclusive** at equality: an ack carrying
+logical clock ``lc`` means the holder has applied the invalidation
+stamped ``lc`` itself, so :meth:`IqsLeaseTable.ack_delayed` clears
+queued entries with ``pending <= lc`` and
+:meth:`IqsLeaseTable.has_delayed` reports only strictly-unacknowledged
+work (see the method docstrings for why the pair is consistent).
 """
 
 from __future__ import annotations
@@ -127,8 +157,15 @@ class IqsLeaseTable:
     def is_expired(self, volume: str, node: str, now: float) -> bool:
         """Granter-side check: may *node* still be reading under this lease?
 
-        Uses a strict comparison in the safe direction: at the exact
-        boundary instant the granter still treats the lease as live.
+        Strict ``expires < now``: at the exact boundary instant
+        (``now == expires``) the granter still treats the lease as
+        **live** and keeps blocking writes on the holder.  The holder
+        makes the opposite call at the same instant
+        (:meth:`OqsLeaseView.volume_valid` treats ``==`` as expired) —
+        the asymmetric-conservative boundary documented in the module
+        docstring.  Flipping this to ``<=`` would let a write complete
+        at the same instant a drift-free holder may still serve the old
+        version.
         """
         return self._expires.get((volume, node), float("-inf")) < now
 
@@ -154,7 +191,18 @@ class IqsLeaseTable:
             self.bump_epoch(volume, node)
 
     def ack_delayed(self, volume: str, node: str, lc: LogicalClock) -> None:
-        """Clear delayed invalidations covered by the holder's ack *lc*."""
+        """Clear delayed invalidations covered by the holder's ack *lc*.
+
+        Inclusive at equality (``pending <= lc``): the holder acks with
+        the exact clock of a delayed invalidation it just applied from a
+        renewal grant (PROTOCOL.md §6), so an ack at ``lc`` proves the
+        entry stamped ``lc`` was delivered — dropping it is safe, and
+        keeping it would make the queue leak its own acknowledgements.
+        This is the same convention as the write path's *known invalid*
+        classification ("acked an invalidation **covering** this
+        clock", i.e. ``ack >= lc``, PROTOCOL.md §5): equality counts as
+        covered on both sides of the exchange.
+        """
         key = (volume, node)
         queue = self._delayed.get(key)
         if not queue:
@@ -172,7 +220,21 @@ class IqsLeaseTable:
         return dict(self._delayed.get((volume, node), {}))
 
     def has_delayed(self, volume: str, node: str, obj: str, lc: LogicalClock) -> bool:
-        """Is an invalidation at least as new as *lc* queued for (node, obj)?"""
+        """Is an invalidation at least as new as *lc* queued for (node, obj)?
+
+        Inclusive at equality (``pending >= lc``): a queued entry at
+        exactly *lc* already subsumes the caller's invalidation, so the
+        write path may skip enqueueing a duplicate.  Note the
+        asymmetry of the *questions*, not the semantics: this asks
+        about the **unacknowledged queue**, :meth:`ack_delayed` about
+        **acknowledged delivery**.  An ack at ``lc`` removes the entry
+        at ``lc`` *and* means the holder applied it, so this method
+        correctly reporting "nothing queued" afterwards is consistent —
+        the pre-ack and post-ack answers describe different states, not
+        a contradiction.  The regression test
+        ``tests/test_leases.py::test_ack_equality_contract`` locks the
+        pair.
+        """
         return self._delayed.get((volume, node), {}).get(obj, ZERO_LC) >= lc
 
     # -- epochs -------------------------------------------------------------------
@@ -256,7 +318,11 @@ class ObjectLeaseTable:
         return length_ms
 
     def is_expired(self, obj: str, node: str, now: float) -> bool:
-        """Granter-side check (strict in the safe direction)."""
+        """Granter-side check: strict ``<``, so ``now == expires`` still
+        counts as held — same asymmetric-conservative boundary as
+        :meth:`IqsLeaseTable.is_expired` (module docstring); the holder
+        side (:class:`OqsLeaseView` ``lease.expires > now``) drops the
+        object at that instant."""
         return self._expires.get((obj, node), float("-inf")) < now
 
     def expiry(self, obj: str, node: str) -> float:
@@ -311,7 +377,13 @@ class OqsLeaseView:
             self.apply_invalidation(iqs_node, inval.obj, inval.lc)
 
     def volume_valid(self, volume: str, iqs_node: str, now: float) -> bool:
-        """Holder-side check, strict in the safe direction (``>``)."""
+        """Holder-side check: strict ``expires > now``, so at the exact
+        boundary instant the holder treats its lease as **expired** and
+        refuses to serve under it — while the granter, at the same
+        instant, still counts it live and keeps blocking writes
+        (:meth:`IqsLeaseTable.is_expired`).  Both sides thus err
+        conservatively; see "Boundary semantics" in the module
+        docstring."""
         return self._vol_expires.get((volume, iqs_node), float("-inf")) > now
 
     def volume_expiry(self, volume: str, iqs_node: str) -> float:

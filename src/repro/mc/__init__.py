@@ -1,0 +1,43 @@
+"""Schedule-space exploration (a mini model checker) for the sim kernel.
+
+Where the chaos engine (:mod:`repro.chaos`) samples *fault schedules*
+randomly, this package searches *event schedules* systematically: a
+:class:`~repro.sim.kernel.ScheduleController` installed on the kernel
+decides which of several same-instant events runs next and how long
+each network delivery is deferred, turning every run into a replayable
+list of small integers.  Bounded DFS and seeded random walks search
+that choice space under a run budget, a per-schedule oracle stack
+(invariant monitor + regular-register history checker + liveness)
+judges each schedule, and violating schedules are ddmin-minimised and
+persisted to ``tests/mc_corpus/`` as byte-replayable repros.
+
+Entry points: :func:`~repro.mc.explore.explore` (library),
+``repro explore`` (CLI), DESIGN.md §12 (the design notes).
+"""
+
+from .controller import Decision, RecordingController, walk_policy
+from .corpus import (
+    MC_REPRO_FORMAT,
+    load_mc_repro,
+    replay_mc_repro,
+    save_mc_repro,
+)
+from .explore import STRATEGIES, ExploreResult, explore, shrink_choices
+from .runner import McRunConfig, McRunResult, run_schedule
+
+__all__ = [
+    "Decision",
+    "RecordingController",
+    "walk_policy",
+    "McRunConfig",
+    "McRunResult",
+    "run_schedule",
+    "STRATEGIES",
+    "ExploreResult",
+    "explore",
+    "shrink_choices",
+    "MC_REPRO_FORMAT",
+    "save_mc_repro",
+    "load_mc_repro",
+    "replay_mc_repro",
+]

@@ -1,0 +1,132 @@
+"""Recording/replaying schedule controllers.
+
+The kernel exposes two kinds of *decision points* to an installed
+:class:`~repro.sim.kernel.ScheduleController`:
+
+``event``
+    More than one event is runnable at the current simulated instant
+    (same-instant ready-lane work and due heap timers); the controller
+    picks which executes next.  The canonical kernel order is choice
+    ``0`` at every such point.
+
+``deliver``
+    The network asks :meth:`message_delay` for every accepted message;
+    the controller may *defer* the delivery by ``k * defer_ms`` for a
+    choice ``k`` in ``0 .. max_defer``.  Choice ``0`` keeps the delay
+    model's draw untouched.  Deferral is legal behaviour under the
+    paper's asynchronous network model (arbitrary delay and reordering),
+    so any safety violation reached through it is a real protocol bug.
+
+A whole schedule is therefore just a list of small integers — one per
+decision point, in the deterministic order the points occur.  The
+:class:`RecordingController` replays a *forced* prefix of such choices,
+asks an optional fallback policy beyond it (the random-walk strategy),
+defaults to canonical ``0``, and records every decision it made, which
+is what lets the explorer branch (DFS), shrink (ddmin over non-zero
+choices), and persist byte-replayable repros.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence
+
+from ..sim.kernel import ScheduleController
+
+__all__ = ["Decision", "RecordingController", "walk_policy"]
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One recorded scheduling decision.
+
+    ``kind`` is ``"event"`` or ``"deliver"``, ``n`` the number of
+    alternatives that were available, ``chosen`` the index taken
+    (``0 <= chosen < n``; ``0`` is always the canonical choice).
+    """
+
+    kind: str
+    n: int
+    chosen: int
+
+
+class RecordingController(ScheduleController):
+    """Replays forced choices, then consults a fallback policy, recording
+    everything.
+
+    Parameters
+    ----------
+    forced:
+        Choice prefix to replay.  Values are clamped into range, so a
+        prefix recorded against a slightly different run can never crash
+        the kernel — it just degenerates toward the canonical schedule.
+    fallback:
+        ``(kind, n) -> int`` policy consulted past the forced prefix;
+        ``None`` means canonical (always ``0``).
+    defer_ms:
+        Deferral quantum for delivery choices.
+    max_defer:
+        Highest deferral multiple, so each delivery point has
+        ``max_defer + 1`` alternatives.
+    """
+
+    def __init__(
+        self,
+        forced: Sequence[int] = (),
+        fallback: Optional[Callable[[str, int], int]] = None,
+        *,
+        defer_ms: float = 650.0,
+        max_defer: int = 1,
+    ) -> None:
+        if defer_ms < 0:
+            raise ValueError("defer_ms must be non-negative")
+        if max_defer < 0:
+            raise ValueError("max_defer must be non-negative")
+        self.forced = list(forced)
+        self.fallback = fallback
+        self.defer_ms = defer_ms
+        self.max_defer = max_defer
+        self.decisions: List[Decision] = []
+
+    @property
+    def choices(self) -> List[int]:
+        """The decisions as a plain choice list (replay input format)."""
+        return [d.chosen for d in self.decisions]
+
+    def _choose(self, kind: str, n: int) -> int:
+        index = len(self.decisions)
+        if index < len(self.forced):
+            chosen = self.forced[index]
+        elif self.fallback is not None:
+            chosen = self.fallback(kind, n)
+        else:
+            chosen = 0
+        chosen = max(0, min(int(chosen), n - 1))
+        self.decisions.append(Decision(kind, n, chosen))
+        return chosen
+
+    # -- ScheduleController interface --------------------------------------
+
+    def choose_event(self, n: int) -> int:
+        return self._choose("event", n)
+
+    def message_delay(self, message: Any, delay: float) -> float:
+        if self.max_defer == 0:
+            return delay
+        return delay + self._choose("deliver", self.max_defer + 1) * self.defer_ms
+
+
+def walk_policy(seed_text: str, p_deviate: float) -> Callable[[str, int], int]:
+    """A seeded random-walk fallback: deviate from canonical with
+    probability *p_deviate*, picking uniformly among the non-canonical
+    alternatives.  String seeding keeps the walk process-stable.
+    """
+    rng = random.Random(seed_text)
+
+    def policy(_kind: str, n: int) -> int:
+        if n > 1 and rng.random() < p_deviate:
+            return rng.randrange(1, n)
+        return 0
+
+    return policy

@@ -1,0 +1,93 @@
+"""Persistence of minimised violating schedules (the MC corpus).
+
+Mirrors :mod:`repro.chaos.shrink`'s corpus format: one small JSON file
+per repro under ``tests/mc_corpus/``, carrying the
+:class:`~repro.mc.runner.McRunConfig`, the minimised choice list, and
+the expected violation types.  ``tests/test_mc_corpus.py`` replays each
+repro weakened (the violation must reappear, byte-identically across
+replays) and healthy (the same schedule must pass), so a shrunk
+schedule keeps witnessing its bug for as long as the corpus lives.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from typing import List, Optional, Tuple
+
+from .explore import ExploreResult
+from .runner import McRunConfig, McRunResult, run_schedule
+
+__all__ = [
+    "MC_REPRO_FORMAT",
+    "save_mc_repro",
+    "load_mc_repro",
+    "replay_mc_repro",
+]
+
+MC_REPRO_FORMAT = 1
+
+
+def save_mc_repro(
+    result: ExploreResult, directory: str, name: Optional[str] = None
+) -> str:
+    """Write an exploration's shrunk witness as JSON; returns the path."""
+    if result.shrunk is None:
+        raise ValueError("exploration found no violation; nothing to save")
+    witness = result.shrunk
+    config = result.config
+    if name is None:
+        name = "_".join(
+            part for part in (
+                config.protocol,
+                f"seed{config.seed}",
+                config.weaken or "healthy",
+            ) if part
+        )
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{name}.json")
+    choices = witness.choices
+    while choices and choices[-1] == 0:
+        choices.pop()
+    payload = {
+        "format": MC_REPRO_FORMAT,
+        "description": (
+            f"{sum(1 for c in choices if c)}-deviation schedule for protocol "
+            f"{config.protocol!r}"
+            + (f" weakened by {config.weaken!r}" if config.weaken else "")
+            + f", found by {result.strategy!r} in {result.runs} runs"
+            + f"; expected violation types: {witness.expected_types}"
+        ),
+        "config": dataclasses.asdict(config),
+        "choices": choices,
+        "expected_types": witness.expected_types,
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_mc_repro(path: str) -> Tuple[McRunConfig, List[int], List[str]]:
+    """Read a corpus repro back as (config, choices, expected_types)."""
+    with open(path) as fh:
+        payload = json.load(fh)
+    if payload.get("format") != MC_REPRO_FORMAT:
+        raise ValueError(
+            f"{path}: unsupported mc repro format {payload.get('format')!r}"
+        )
+    known = {f.name for f in dataclasses.fields(McRunConfig)}
+    config = McRunConfig(**{
+        k: v for k, v in payload["config"].items() if k in known
+    })
+    return config, list(payload["choices"]), list(payload.get("expected_types", []))
+
+
+def replay_mc_repro(path: str, *, healthy: bool = False) -> McRunResult:
+    """Re-execute a corpus repro; *healthy* strips the weakener (the
+    same schedule must then pass)."""
+    config, choices, _expected = load_mc_repro(path)
+    if healthy:
+        config = dataclasses.replace(config, weaken="")
+    return run_schedule(config, choices)

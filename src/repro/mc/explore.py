@@ -1,0 +1,194 @@
+"""Bounded schedule-space exploration strategies.
+
+Two strategies over the choice tree defined by
+:mod:`repro.mc.controller`, both budgeted in *runs* (full re-executions
+— the explorer is stateless, in the stateless-model-checking tradition:
+no snapshotting, every schedule is re-run from the initial state, which
+the sub-10ms runs make affordable):
+
+``dfs``
+    Depth-first enumeration of choice prefixes.  Each completed run
+    records the decision sequence it actually took; every decision made
+    *beyond* the forced prefix spawns sibling prefixes (same choices up
+    to that point, one alternative flipped) up to ``max_depth`` decision
+    points deep.  Exhaustive for small depths, systematic always; with
+    the canonical order as choice 0 the first run is exactly the
+    untouched schedule.
+
+``walk``
+    Seeded random walks: each run deviates from the canonical choice
+    with probability ``p_deviate`` at every decision point.  Covers deep
+    decision points that DFS's frontier cannot reach within budget —
+    for lease-boundary bugs (many delivery deferrals needed across the
+    run) this is usually the strategy that finds the witness.
+
+A violating run's choice list is then minimised with the chaos engine's
+generic :func:`~repro.chaos.shrink.ddmin` over its *non-canonical*
+choices: each probe re-runs the schedule with only a subset of the
+deviations kept (everything else forced canonical), so the shrunk
+witness is always re-validated by execution, never assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..chaos.shrink import ddmin
+from .controller import walk_policy
+from .runner import McRunConfig, McRunResult, run_schedule
+
+__all__ = ["ExploreResult", "explore", "shrink_choices"]
+
+STRATEGIES = ("dfs", "walk")
+
+
+@dataclass
+class ExploreResult:
+    """Outcome of one exploration: a witness, or a clean budget."""
+
+    config: McRunConfig
+    strategy: str
+    #: runs actually executed (<= budget)
+    runs: int
+    #: first violating run, or None if the budget stayed clean
+    witness: Optional[McRunResult] = None
+    #: witness after ddmin over its deviations (== witness when clean)
+    shrunk: Optional[McRunResult] = None
+    #: extra runs spent shrinking
+    shrink_runs: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.witness is None
+
+
+def explore(
+    config: McRunConfig,
+    *,
+    strategy: str = "walk",
+    budget: int = 500,
+    p_deviate: float = 0.15,
+    max_depth: int = 40,
+    shrink: bool = True,
+    shrink_budget: int = 200,
+) -> ExploreResult:
+    """Search for a violating schedule under a run budget.
+
+    Stops at the first violation (one witness is all the corpus needs);
+    *shrink* then minimises it with :func:`shrink_choices`.  *max_depth*
+    bounds how deep into the decision sequence DFS branches — beyond it
+    runs continue canonically, keeping the frontier (and memory) small.
+    """
+    if strategy not in STRATEGIES:
+        raise ValueError(
+            f"unknown strategy {strategy!r}; choose from {STRATEGIES}"
+        )
+    if budget < 1:
+        raise ValueError("budget must be at least 1")
+
+    runs = 0
+    witness: Optional[McRunResult] = None
+
+    if strategy == "walk":
+        for index in range(budget):
+            runs += 1
+            # Run 0 deviates nowhere: the canonical schedule is always
+            # probed first, so choice-free bugs cost exactly one run.
+            fallback = (
+                None if index == 0 else
+                walk_policy(f"mc-walk:{config.seed}:{index}", p_deviate)
+            )
+            result = run_schedule(config, (), fallback=fallback)
+            if result.violations:
+                witness = result
+                break
+    else:  # dfs
+        stack: List[List[int]] = [[]]
+        seen: set = set()
+        while stack and runs < budget:
+            prefix = stack.pop()
+            key = tuple(prefix)
+            if key in seen:
+                continue
+            seen.add(key)
+            runs += 1
+            result = run_schedule(config, prefix)
+            if result.violations:
+                witness = result
+                break
+            # Branch on every decision taken canonically beyond the
+            # forced prefix, shallowest last so it is popped first
+            # (depth-first in schedule order).
+            decisions = result.decisions
+            upper = min(len(decisions), max_depth)
+            for i in range(upper - 1, len(prefix) - 1, -1):
+                base = [d.chosen for d in decisions[:i]]
+                for alt in range(decisions[i].n - 1, -1, -1):
+                    if alt != decisions[i].chosen:
+                        stack.append(base + [alt])
+
+    shrunk = witness
+    shrink_runs = 0
+    if witness is not None and shrink:
+        shrunk, shrink_runs = shrink_choices(
+            config, witness, max_runs=shrink_budget
+        )
+    return ExploreResult(
+        config=config,
+        strategy=strategy,
+        runs=runs,
+        witness=witness,
+        shrunk=shrunk,
+        shrink_runs=shrink_runs,
+    )
+
+
+def shrink_choices(
+    config: McRunConfig,
+    witness: McRunResult,
+    *,
+    max_runs: int = 200,
+) -> Tuple[McRunResult, int]:
+    """Minimise a violating run's deviations with ddmin.
+
+    The items are the indices of the witness's non-canonical choices;
+    a probe keeps only a subset of them (all other decisions forced to
+    canonical ``0``) and re-runs.  Because flipping an early choice can
+    shift every later decision point, positional replay of a subset is
+    only a *guess* — which is exactly why each probe is judged by
+    re-execution.  Returns the minimised (re-validated) result and the
+    number of probe runs spent.
+    """
+    choices = witness.choices
+    deviations = [i for i, c in enumerate(choices) if c != 0]
+    runs = 0
+    memo: Dict[Tuple[int, ...], McRunResult] = {}
+
+    def rerun(kept: Sequence[int]) -> McRunResult:
+        nonlocal runs
+        key = tuple(sorted(kept))
+        if key not in memo:
+            runs += 1
+            kept_set = set(key)
+            forced = [
+                c if i in kept_set else 0 for i, c in enumerate(choices)
+            ]
+            # Trim trailing canonical choices — they are the default.
+            while forced and forced[-1] == 0:
+                forced.pop()
+            memo[key] = run_schedule(config, forced)
+        return memo[key]
+
+    if not deviations:
+        return witness, 0
+
+    kept = ddmin(
+        deviations,
+        lambda subset: bool(rerun(subset).violations),
+        should_continue=lambda: runs < max_runs,
+    )
+    result = rerun(kept)
+    if not result.violations:  # pragma: no cover - ddmin guarantees this
+        return witness, runs
+    return result, runs

@@ -1,0 +1,255 @@
+"""One controlled run: config + choice list → deterministic outcome.
+
+:func:`run_schedule` is the explorer's unit of work — the analogue of
+:func:`repro.chaos.campaign.run_chaos`, but instead of a fault schedule
+the input is a list of scheduling *choices* replayed through a
+:class:`~repro.mc.controller.RecordingController` (see that module for
+the decision-point format).  Everything else is shared with the chaos
+engine: the deployment builder, the weakener registry, the workload
+streams, and the full oracle stack —
+:class:`~repro.chaos.invariants.InvariantMonitor` online plus
+:func:`~repro.consistency.regular.check_regular` over the recorded
+history, plus a liveness check (all client workloads must finish within
+the time limit).
+
+A run is a pure function of ``(config, choices)``: the simulator seed,
+the per-purpose network RNG streams, and the workload streams are all
+derived from the config, and every remaining ordering freedom is pinned
+by the controller.  :attr:`McRunResult.trace_text` serialises the
+observable outcome (decisions, operations, violations, stats) as
+canonical JSON, so "replaying twice is byte-identical" is a plain
+string comparison.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..chaos.campaign import (
+    EVENTUALLY_CONSISTENT,
+    ChaosRunConfig,
+    _build_deployment,
+    _server_nodes,
+)
+from ..chaos.invariants import InvariantMonitor
+from ..chaos.nemesis import nemesis_rng
+from ..chaos.weaken import apply_weakener
+from ..consistency.history import History, Op
+from ..consistency.regular import check_regular
+from ..sim.kernel import Simulator
+from ..workload.generators import BernoulliOpStream, ZipfKeyChooser
+from ..workload.runner import closed_loop
+from .controller import Decision, RecordingController
+
+__all__ = ["McRunConfig", "McRunResult", "run_schedule"]
+
+
+@dataclass(frozen=True)
+class McRunConfig:
+    """Everything that determines one controlled run (hashable).
+
+    The defaults describe a deliberately *small, tense* scenario: two
+    IQS/OQS edges means the IQS read quorum needs both servers, so a
+    single lapsed volume lease already breaks Condition C; the lease
+    length is short relative to the workload and ``defer_ms`` exceeds
+    it, so deferring one renewal round trip is enough to force a lapse.
+    Small state spaces are what make bounded exploration bite.
+    """
+
+    protocol: str = "dqvl"
+    seed: int = 0
+    #: named bug injection from :mod:`repro.chaos.weaken` ('' = healthy)
+    weaken: str = ""
+    num_edges: int = 2
+    num_clients: int = 2
+    ops_per_client: int = 6
+    write_ratio: float = 0.35
+    num_keys: int = 2
+    lease_length_ms: float = 400.0
+    max_drift: float = 0.0
+    jitter_ms: float = 0.0
+    client_max_attempts: Optional[int] = 6
+    #: delivery-deferral quantum; > lease_length_ms so one deferred
+    #: renewal round trip lets a volume lease lapse
+    defer_ms: float = 650.0
+    #: highest deferral multiple (each delivery has max_defer+1 choices)
+    max_defer: int = 1
+    #: hard stop; an unfinished workload here is a liveness violation
+    time_limit_ms: float = 60_000.0
+
+    def __post_init__(self) -> None:
+        # Reuse the chaos config's validation (protocol / weakener names,
+        # topology sizes); the instance itself is rebuilt in run_schedule.
+        self._chaos_config()
+
+    def _chaos_config(self) -> ChaosRunConfig:
+        return ChaosRunConfig(
+            protocol=self.protocol,
+            seed=self.seed,
+            nemeses=(),
+            num_edges=self.num_edges,
+            num_clients=self.num_clients,
+            ops_per_client=self.ops_per_client,
+            write_ratio=self.write_ratio,
+            num_keys=self.num_keys,
+            horizon_ms=1.0,
+            lease_length_ms=self.lease_length_ms,
+            max_drift=self.max_drift,
+            jitter_ms=self.jitter_ms,
+            client_max_attempts=self.client_max_attempts,
+            weaken=self.weaken,
+            time_limit_ms=self.time_limit_ms,
+        )
+
+
+@dataclass
+class McRunResult:
+    """Outcome of one controlled run."""
+
+    config: McRunConfig
+    #: every decision the controller made, in order (the full schedule)
+    decisions: List[Decision]
+    violations: List[Dict[str, Any]]
+    stats: Dict[str, Any] = field(default_factory=dict)
+    ops: List[Op] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def choices(self) -> List[int]:
+        return [d.chosen for d in self.decisions]
+
+    @property
+    def expected_types(self) -> List[str]:
+        return sorted({v["type"] for v in self.violations})
+
+    @property
+    def trace_text(self) -> str:
+        """Canonical JSON of the observable outcome (byte-comparable)."""
+        payload = {
+            "config": dataclasses.asdict(self.config),
+            "decisions": [[d.kind, d.n, d.chosen] for d in self.decisions],
+            "ops": [
+                [
+                    op.kind, op.key, op.value,
+                    [op.lc.counter, op.lc.node_id],
+                    op.start, op.end, op.client, op.ok, op.hit, op.server,
+                ]
+                for op in self.ops
+            ],
+            "violations": self.violations,
+            "stats": self.stats,
+        }
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+#: step size for the sliced run loop (ms); coarse is fine — it only
+#: bounds how long the simulation idles after the last client finishes
+_SLICE_MS = 1_000.0
+
+
+def run_schedule(
+    config: McRunConfig,
+    choices: Sequence[int] = (),
+    *,
+    fallback: Optional[Callable[[str, int], int]] = None,
+) -> McRunResult:
+    """Execute one run under ``(config, choices)``; returns the outcome.
+
+    *choices* is replayed as the forced prefix; *fallback* decides
+    beyond it (``None`` = canonical order — this is how a recorded
+    schedule is replayed: force everything, run deterministic).
+    """
+    chaos_config = config._chaos_config()
+    sim = Simulator(seed=config.seed)
+    controller = RecordingController(
+        choices, fallback, defer_ms=config.defer_ms, max_defer=config.max_defer
+    )
+    sim.controller = controller
+    topology, deployment = _build_deployment(chaos_config, sim)
+    servers = _server_nodes(deployment)
+
+    monitor: Optional[InvariantMonitor] = None
+    if config.protocol in ("dqvl", "basic_dq"):
+        # max_violations=1: the explorer asks "does this schedule
+        # violate?", and a single witness answers it.
+        monitor = InvariantMonitor(sim, max_violations=1)
+        monitor.attach(topology.network, servers)
+    apply_weakener(deployment, config.weaken)
+
+    history = History()
+    keys = [f"k{i}" for i in range(config.num_keys)]
+    procs = []
+    for c in range(config.num_clients):
+        client = deployment.direct_client(c)
+        stream = BernoulliOpStream(
+            nemesis_rng(config.seed, f"workload-{c}"),
+            ZipfKeyChooser(keys, s=0.9),
+            config.write_ratio,
+            label=f"c{c}-",
+        )
+        procs.append(
+            sim.spawn(
+                closed_loop(sim, client, stream, history, config.ops_per_client)
+            )
+        )
+
+    # Sliced run with early exit: lease-renewal keepers re-arm timers
+    # forever, so "run until the queue drains" never returns — instead
+    # stop as soon as every client workload is done (plus one slice so
+    # in-flight invalidation acks land and the monitor sees the final
+    # state), or at the liveness limit.
+    deadline = config.time_limit_ms
+    while sim.now < deadline:
+        sim.run(until=min(sim.now + _SLICE_MS, deadline))
+        if all(p.done for p in procs):
+            sim.run(until=min(sim.now + _SLICE_MS, deadline))
+            break
+    if monitor is not None:
+        monitor.check_now()
+
+    violations: List[Dict[str, Any]] = []
+    for c, proc in enumerate(procs):
+        if not proc.done:
+            violations.append({
+                "type": "liveness",
+                "node": f"appsc{c}",
+                "detail": (
+                    f"client {c}'s workload did not finish by "
+                    f"{config.time_limit_ms:.0f} ms (stuck operation)"
+                ),
+            })
+    if config.protocol not in EVENTUALLY_CONSISTENT:
+        for v in check_regular(history):
+            violations.append({
+                "type": "regular",
+                "key": v.read.key,
+                "node": v.read.client,
+                "time": v.read.end,
+                "detail": str(v),
+            })
+    if monitor is not None:
+        for obj in monitor.report():
+            violations.append({"type": "invariant", **obj})
+
+    stats = {
+        "ops_recorded": len(history),
+        "ops_failed": len(history.failures()),
+        "messages": topology.network.stats.total_messages,
+        "messages_dropped": topology.network.stats.dropped,
+        "decisions": len(controller.decisions),
+        "deviations": sum(1 for d in controller.decisions if d.chosen != 0),
+        "sim_time_ms": sim.now,
+    }
+    return McRunResult(
+        config=config,
+        decisions=list(controller.decisions),
+        violations=violations,
+        stats=stats,
+        ops=list(history.ops),
+    )

@@ -14,6 +14,7 @@ from .kernel import (
     Future,
     Process,
     ProcessFailure,
+    ScheduleController,
     SimulationError,
     Simulator,
     Timer,
@@ -37,6 +38,7 @@ __all__ = [
     "Future",
     "Process",
     "Timer",
+    "ScheduleController",
     "SimulationError",
     "ProcessFailure",
     "all_of",

@@ -27,6 +27,13 @@ next) costs a deque append/popleft instead of a ``Timer`` allocation
 plus an ``O(log n)`` heap push/pop.  ``tests/test_sim_kernel.py`` locks
 the merged order in with a golden event trace.
 
+The canonical order is a *choice* among many legal ones: two events due
+at the same instant have no causal order.  Installing a
+:class:`ScheduleController` (``sim.controller = ...``) switches the run
+loop onto a slower controlled path that exposes exactly those choices to
+a schedule-space explorer (:mod:`repro.mc`); with no controller — the
+default — the fast path below is untouched.
+
 Processes are written as plain Python generators.  A process *yields*
 awaitables to suspend itself::
 
@@ -52,6 +59,7 @@ __all__ = [
     "Future",
     "Process",
     "Timer",
+    "ScheduleController",
     "Simulator",
     "all_of",
     "any_of",
@@ -245,6 +253,39 @@ class Timer:
         return self._cancelled
 
 
+class ScheduleController:
+    """Pluggable same-instant scheduling hook — the schedule-space
+    explorer's entry point (see :mod:`repro.mc`).
+
+    Installing a controller (``sim.controller = ctl``) switches
+    :meth:`Simulator.run` onto a *controlled* loop: whenever more than
+    one event is runnable at the current simulated instant — ready-lane
+    entries and due heap timers together — the controller picks which
+    executes next, so an explorer can permute exactly the orderings the
+    canonical ``(time, seq)`` merge fixes arbitrarily.  The
+    :class:`~repro.sim.network.Network` additionally consults
+    :meth:`message_delay` for every accepted message, letting a
+    controller defer individual deliveries — legal behaviour under the
+    paper's asynchronous network model, which permits arbitrary message
+    delay and reordering, so any safety violation found this way is a
+    real protocol bug, not an artifact.
+
+    The base implementation reproduces the canonical order exactly
+    (``tests/test_mc_kernel.py`` locks this in); ``repro.mc`` builds
+    recording, replaying, and exploring controllers on top of it.
+    """
+
+    def choose_event(self, n: int) -> int:
+        """Index (``0 <= i < n``) of the next event to execute among the
+        *n* runnable at this instant, presented in canonical order."""
+        return 0
+
+    def message_delay(self, message: Any, delay: float) -> float:
+        """Delivery delay for *message*; *delay* is the delay-model draw
+        (plus link degradation).  Must return a value ``>= 0``."""
+        return delay
+
+
 class Simulator:
     """The event loop: simulated clock plus a deterministic event queue.
 
@@ -270,6 +311,9 @@ class Simulator:
         self.rng = random.Random(seed)
         self.seed = seed
         self._events_processed = 0
+        #: optional :class:`ScheduleController`; ``None`` (the default)
+        #: keeps the fast two-lane run loop
+        self.controller: Optional[ScheduleController] = None
 
     # -- clock ------------------------------------------------------------
 
@@ -352,6 +396,8 @@ class Simulator:
         lands behind them — exactly the old single-queue interleaving.
         ``events_processed`` is flushed when the loop exits, not per event.
         """
+        if self.controller is not None:
+            return self._run_controlled(until, max_events)
         processed = 0
         ready = self._ready
         queue = self._queue
@@ -397,6 +443,68 @@ class Simulator:
                 while queue and queue[0][0] == when:
                     entry = heappop(queue)
                     ready.append((entry[2], entry[3], entry[4]))
+                processed += 1
+                fn(*args)
+        finally:
+            self._events_processed += processed
+        if until is not None and until > self._now:
+            self._now = until
+        return self._now
+
+    def _run_controlled(
+        self, until: Optional[float] = None, max_events: Optional[int] = None
+    ) -> float:
+        """The controller path: single-slot scheduling with explicit choice.
+
+        Maintains *slot*, the list of events runnable at the current
+        instant in canonical arrival order (heap timers due at the
+        instant first, in ``(time, seq)`` order, then ready-lane work in
+        FIFO order as it appears), and asks the controller which to run
+        whenever there is more than one.  Under the base
+        :class:`ScheduleController` this executes the exact canonical
+        order; the fast two-lane path in :meth:`run` is untouched when no
+        controller is installed.  Cancelled timers are purged from the
+        slot before every choice, so ``n`` only ever counts live events.
+        """
+        processed = 0
+        ready = self._ready
+        queue = self._queue
+        heappop = heapq.heappop
+        controller = self.controller
+        slot: List[tuple] = []
+        try:
+            while True:
+                if ready:
+                    slot.extend(ready)
+                    ready.clear()
+                if slot:
+                    slot[:] = [
+                        e for e in slot if e[0] is None or not e[0]._cancelled
+                    ]
+                if not slot:
+                    while queue and queue[0][2] is not None and queue[0][2]._cancelled:
+                        heappop(queue)
+                    if not queue:
+                        break
+                    when = queue[0][0]
+                    if until is not None and when > until:
+                        self._now = until
+                        return self._now
+                    self._now = when
+                    while queue and queue[0][0] == when:
+                        _w, _seq, timer, fn, args = heappop(queue)
+                        if timer is None or not timer._cancelled:
+                            slot.append((timer, fn, args))
+                    continue
+                if until is not None and self._now > until:
+                    self._now = until
+                    return self._now
+                if max_events is not None and processed >= max_events:
+                    return self._now
+                index = controller.choose_event(len(slot)) if len(slot) > 1 else 0
+                if not 0 <= index < len(slot):
+                    index = 0
+                _timer, fn, args = slot.pop(index)
                 processed += 1
                 fn(*args)
         finally:

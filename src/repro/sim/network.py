@@ -34,10 +34,23 @@ token that removes exactly that fault:
 * :meth:`degrade_link` → per-link extra delay and/or loss (gray links);
 * :meth:`add_loss_window` / :meth:`add_duplication_window` → network-wide
   extra loss/duplication that stacks independently with the base rates.
+
+Determinism
+-----------
+Loss, duplication, and delivery-delay randomness each draw from a
+dedicated RNG stream derived from the simulation seed (never from the
+shared ``sim.rng``).  Toggling a fault lane on or off therefore only
+affects that lane: a run with ``duplicate_probability=0.0`` is
+byte-identical to one where the flag was never set, and surviving
+messages in a lossy run keep the delays of the lossless run.  When a
+:class:`~repro.sim.kernel.ScheduleController` is installed, it may
+additionally rewrite each delivery delay (``message_delay``), which is
+how the ``repro.mc`` explorer enumerates delivery orders.
 """
 
 from __future__ import annotations
 
+import random
 from collections import Counter
 from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
@@ -203,6 +216,22 @@ class Network:
         self.delay_model = delay_model or ConstantDelay(0.0)
         self.loss_probability = loss_probability
         self.duplicate_probability = duplicate_probability
+        # Per-purpose RNG streams, derived from the simulation seed (str
+        # seeding is hash-salt-free and process-stable).  Loss,
+        # duplication, and delivery-delay draws must NOT share one
+        # stream: with a shared stream, merely *enabling* a fault lane
+        # (a loss window, a nonzero duplicate probability) consumes an
+        # extra draw per message and thereby reshuffles every downstream
+        # delay — a probabilistic no-op flag becomes a trace-visible
+        # perturbation.  With dedicated streams, each lane's draw
+        # sequence is a function of the accepted-message sequence alone,
+        # so e.g. a lossy run delivers every *surviving* message at
+        # exactly the delay the lossless run gave it
+        # (tests/test_sim_network.py locks this in).
+        seed = getattr(sim, "seed", 0)
+        self._delay_rng = random.Random(f"net-delay:{seed}")
+        self._loss_rng = random.Random(f"net-loss:{seed}")
+        self._dup_rng = random.Random(f"net-dup:{seed}")
         #: optional Message -> bytes estimator for byte accounting
         self.size_model = size_model
         self.stats = NetworkStats()
@@ -449,24 +478,36 @@ class Network:
             if self.obs is not None:
                 self.obs.on_drop(message, "partition")
             return
+        # Fixed draw sequence: one delivery-delay draw per accepted
+        # message, consumed *before* the loss gate — losing a message
+        # filters the delay sequence instead of shifting it, so every
+        # survivor keeps exactly the delay the lossless run gave it.
+        delay = self.delay_model.delay(message.src, message.dst, self._delay_rng)
         loss = self.effective_loss_probability(message.src, message.dst)
-        if loss and self.sim.rng.random() < loss:
+        if loss and self._loss_rng.random() < loss:
             self.stats.dropped += 1
             if self.obs is not None:
                 self.obs.on_drop(message, "loss")
             return
 
-        self._schedule_delivery(message)
+        self._schedule_delivery(message, delay)
         dup = self.effective_duplicate_probability()
-        if dup and self.sim.rng.random() < dup:
+        if dup and self._dup_rng.random() < dup:
             self.stats.duplicated += 1
             if self.obs is not None:
                 self.obs.on_duplicate(message)
-            self._schedule_delivery(message.duplicate())
+            # The duplicate's delay comes from the dup stream too, so a
+            # duplication event never perturbs the primary delay sequence.
+            self._schedule_delivery(
+                message.duplicate(),
+                self.delay_model.delay(message.src, message.dst, self._dup_rng),
+            )
 
-    def _schedule_delivery(self, message: Message) -> None:
-        delay = self.delay_model.delay(message.src, message.dst, self.sim.rng)
+    def _schedule_delivery(self, message: Message, delay: float) -> None:
         delay += self._link_delay.get((message.src, message.dst), 0.0)
+        controller = self.sim.controller
+        if controller is not None:
+            delay = controller.message_delay(message, delay)
         self.sim.schedule(delay, self._deliver, message)
 
     def _deliver(self, message: Message) -> None:

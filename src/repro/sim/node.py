@@ -27,7 +27,7 @@ network, as required to make partition and crash experiments meaningful.
 from __future__ import annotations
 
 import inspect
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from .clock import DriftingClock, PerfectClock
 from .kernel import Future, Simulator, Timer
@@ -78,7 +78,11 @@ class Node:
         self.node_id = node_id
         self.clock = clock or PerfectClock(sim)
         self.alive = True
-        self._pending_rpcs: Dict[int, Future] = {}
+        #: msg_id → (reply future, timeout timer or None).  The timer is
+        #: cancelled as soon as the reply arrives so resolved RPCs leave
+        #: no dead timers behind in the kernel heap (they would otherwise
+        #: show up as spurious decision points for the repro.mc explorer).
+        self._pending_rpcs: Dict[int, Tuple[Future, Optional[Timer]]] = {}
         self._crash_count = 0
         #: gray failure: extra per-message processing delay (0 = healthy)
         self._slow_ms = 0.0
@@ -146,14 +150,15 @@ class Node:
             return future
         message = self.send(dst, kind, payload, span=span)
         assert message is not None
-        self._pending_rpcs[message.msg_id] = future
 
+        timer: Optional[Timer] = None
         if timeout is not None:
             def on_timeout() -> None:
                 if self._pending_rpcs.pop(message.msg_id, None) is not None:
                     future.fail(RpcTimeout(self.node_id, dst, kind, timeout))
 
-            self.sim.schedule(timeout, on_timeout)
+            timer = self.sim.schedule(timeout, on_timeout)
+        self._pending_rpcs[message.msg_id] = (future, timer)
         return future
 
     # -- receiving -----------------------------------------------------------
@@ -180,8 +185,12 @@ class Node:
     def _dispatch(self, message: Message) -> None:
         if message.reply_to is not None:
             pending = self._pending_rpcs.pop(message.reply_to, None)
-            if pending is not None and not pending.done:
-                pending.resolve(message)
+            if pending is not None:
+                future, timer = pending
+                if timer is not None:
+                    timer.cancel()
+                if not future.done:
+                    future.resolve(message)
             # Unmatched replies (late after timeout, or duplicates) are
             # dropped: the protocol state machines never depend on them.
             return
@@ -242,7 +251,9 @@ class Node:
         self.alive = False
         self._crash_count += 1
         pending, self._pending_rpcs = self._pending_rpcs, {}
-        for future in pending.values():
+        for future, timer in pending.values():
+            if timer is not None:
+                timer.cancel()
             if not future.done:
                 future.fail(NodeCrashed(self.node_id))
 

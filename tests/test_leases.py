@@ -226,3 +226,86 @@ def test_property_holder_expiry_never_outlives_granter(drift, t0, grant_delay, L
     granter_local_expiry = table.expiry("v", "j")
     granter_real_expiry = granter_local_expiry / (1 + drift)
     assert granter_real_expiry >= holder_real_expiry - 1e-6
+
+
+class TestBoundarySemantics:
+    """The asymmetric-conservative expiry boundary and the inclusive
+    ack-equality contract (see the module docstring of
+    ``repro.core.leases``), pinned at ``max_drift=0`` where the two
+    sides' clocks agree and the boundary instant is exactly shared."""
+
+    def test_volume_boundary_is_asymmetric_conservative(self):
+        """At ``now == expires`` with zero drift, the granter still
+        counts the lease as held while the holder already refuses to
+        serve — there is no instant where the holder serves a lease the
+        granter has written off."""
+        table = IqsLeaseTable(lease_length_ms=100.0, max_drift=0.0)
+        view = OqsLeaseView(max_drift=0.0)
+        grant = table.grant("v", "j", now=0.0, requestor_time=0.0)
+        view.apply_grant("i", grant)
+        assert table.expiry("v", "j") == view.volume_expiry("v", "i") == 100.0
+
+        # strictly inside / at the boundary / strictly past it:
+        for now, granter_holds, holder_serves in [
+            (99.999, True, True),
+            (100.0, True, False),   # the asymmetric instant
+            (100.001, False, False),
+        ]:
+            assert table.is_expired("v", "j", now) is not granter_holds
+            assert view.volume_valid("v", "i", now) is holder_serves
+            # safety: never (holder serves and granter has expired it)
+            assert not (
+                view.volume_valid("v", "i", now)
+                and table.is_expired("v", "j", now)
+            )
+
+    def test_object_lease_boundary_matches_volume_boundary(self):
+        from repro.core.leases import ObjectLeaseTable
+
+        table = ObjectLeaseTable(max_drift=0.0)
+        table.grant("a", "j", now=0.0, length_ms=100.0)
+        assert not table.is_expired("a", "j", now=100.0)
+        assert table.is_expired("a", "j", now=100.001)
+
+        # holder side: object_valid's `expires > now` drops it at 100.0
+        view = OqsLeaseView(max_drift=0.0)
+        view.apply_grant("i", TestOqsLeaseView().make_grant(t0=0.0, L=1000.0))
+        view.apply_renewal("i", "a", epoch=0, lc=lc(1), expires=100.0)
+        assert view.object_valid("v", "a", "i", now=99.999)
+        assert not view.object_valid("v", "a", "i", now=100.0)
+
+    def test_ack_equality_contract(self):
+        """An ack at exactly ``lc`` covers the queued entry at ``lc``:
+        ``ack_delayed`` clears it (inclusive ``<=``) and ``has_delayed``
+        then reports nothing outstanding — the regression pair for the
+        ``pending <= lc`` vs ``pending >= lc`` comparisons."""
+        table = IqsLeaseTable(lease_length_ms=100.0)
+        table.enqueue_delayed("v", "j", "a", lc(5))
+
+        # before the ack: the queued entry subsumes clocks up to 5
+        assert table.has_delayed("v", "j", "a", lc(5))
+        assert table.has_delayed("v", "j", "a", lc(4))
+        assert not table.has_delayed("v", "j", "a", lc(6))
+
+        # an ack strictly below leaves the entry in place
+        table.ack_delayed("v", "j", lc(4))
+        assert table.has_delayed("v", "j", "a", lc(5))
+        assert table.delayed_count("v", "j") == 1
+
+        # the boundary ack: equality counts as covered on both sides
+        table.ack_delayed("v", "j", lc(5))
+        assert table.delayed_count("v", "j") == 0
+        assert not table.has_delayed("v", "j", "a", lc(5))
+        # ZERO_LC trivially "queued" is the only remaining truth
+        assert table.has_delayed("v", "j", "a", ZERO_LC)
+
+    def test_ack_tiebreak_is_total_order_not_counter(self):
+        """Logical clocks order by (counter, node_id); an ack from a
+        different writer with the same counter only covers entries that
+        compare <= under the total order."""
+        table = IqsLeaseTable(lease_length_ms=100.0)
+        table.enqueue_delayed("v", "j", "a", LogicalClock(5, "z"))
+        table.ack_delayed("v", "j", LogicalClock(5, "a"))  # "a" < "z"
+        assert table.delayed_count("v", "j") == 1
+        table.ack_delayed("v", "j", LogicalClock(5, "z"))
+        assert table.delayed_count("v", "j") == 0

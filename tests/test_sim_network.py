@@ -384,3 +384,60 @@ class TestNetworkStats:
         assert delta.dropped == 1
         assert delta.total_messages == 1  # sends are recorded, then dropped
         net.heal(token)
+
+
+class TestRngStreamIsolation:
+    """Per-purpose RNG streams: enabling a fault lane must never shift
+    the draws of another lane (the golden determinism contract in the
+    module docstring).  Before the split, a single shared ``sim.rng``
+    meant e.g. ``duplicate_probability=0.0001`` consumed a dup draw per
+    message and thereby reshuffled every later delivery delay."""
+
+    def _delivery_times(self, **net_kwargs):
+        sim = Simulator(seed=7)
+        net, a, b = make_pair(
+            sim, delay_model=JitteredDelay(ConstantDelay(10.0), 8.0), **net_kwargs
+        )
+        for n in range(30):
+            a.send("b", "data", {"n": n})
+        sim.run()
+        return b.received
+
+    def test_fault_flag_noop_is_byte_identical(self):
+        """Setting a fault probability that never fires (or a window
+        that can't fire) leaves the whole trace untouched."""
+        baseline = self._delivery_times()
+        assert baseline == self._delivery_times(duplicate_probability=1e-12)
+        assert baseline == self._delivery_times(loss_probability=1e-12)
+
+    def test_loss_preserves_survivor_delays(self):
+        """With real loss, every *surviving* message is delivered at
+        exactly the delay the lossless run gave it — loss filters the
+        trace, it does not reshuffle it."""
+        baseline = {n: t for t, n in self._delivery_times()}
+        lossy = self._delivery_times(loss_probability=0.3)
+        assert 0 < len(lossy) < len(baseline)
+        for t, n in lossy:
+            assert baseline[n] == t
+
+    def test_duplication_preserves_primary_delays(self):
+        """Duplicate copies draw from the dup stream; every primary
+        delivery still happens at exactly its lossless-run instant (the
+        duplicates are pure additions to the trace)."""
+        from collections import Counter
+
+        baseline = Counter(self._delivery_times())
+        duped = Counter(self._delivery_times(duplicate_probability=0.4))
+        assert sum(duped.values()) > 30
+        missing = baseline - duped
+        assert not missing, f"primary deliveries perturbed: {missing}"
+
+    def test_streams_are_seed_derived(self):
+        """Same seed, same trace; different seed, different trace."""
+        assert self._delivery_times() == self._delivery_times()
+        sim = Simulator(seed=8)
+        net, a, b = make_pair(sim, delay_model=JitteredDelay(ConstantDelay(10.0), 8.0))
+        for n in range(30):
+            a.send("b", "data", {"n": n})
+        sim.run()
+        assert b.received != self._delivery_times()
