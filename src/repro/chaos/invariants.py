@@ -41,7 +41,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from ..core.dqvl import DqvlIqsNode, DqvlOqsNode
 from ..sim.kernel import Simulator
 
-__all__ = ["InvariantViolation", "InvariantMonitor"]
+__all__ = ["InvariantViolation", "InvariantMonitor", "TapTracer"]
 
 #: stop recording beyond this many violations (a broken run can violate
 #: on every read; the report needs the pattern, not a million copies)
@@ -69,8 +69,13 @@ class InvariantViolation:
         return f"[{self.time:.1f} ms] {self.node}: {self.invariant}: {self.detail}"
 
 
-class _TapTracer:
-    """Wraps a node's tracer, forwarding events to the monitor hook."""
+class TapTracer:
+    """Wraps a node's tracer, forwarding events to a monitor hook.
+
+    Shared by :class:`InvariantMonitor` and
+    :class:`repro.mc.liveness.LivenessMonitor`; taps stack, so both can
+    watch the same node.
+    """
 
     def __init__(self, inner, hook) -> None:
         self._inner = inner
@@ -82,6 +87,10 @@ class _TapTracer:
 
     def __getattr__(self, name: str):  # filter/count/dump pass through
         return getattr(self._inner, name)
+
+
+#: historical private name, kept for callers inside the package
+_TapTracer = TapTracer
 
 
 class InvariantMonitor:

@@ -34,6 +34,21 @@ reappears under it (and disappears without it).
 ``skip_write_invalidation``
     IQS servers classify every OQS node as already-invalid on writes,
     skipping the object-write-quorum invalidation round entirely.
+
+``keeper_abandons_lapse``
+    The proactive renewal keeper gives up the first time a volume lease
+    lapses instead of re-acquiring it: a *liveness* bug, invisible to
+    every safety oracle (the read path re-validates on demand, so no
+    stale read ever happens) — it exists to light up the
+    ``liveness_keeper`` oracle of :mod:`repro.mc.liveness`, which
+    catches the keeper's warm exit.
+
+``drop_vl_acks``
+    OQS nodes silently drop their ``vl_ack`` messages.  Safe (the
+    holder still *applies* the shipped invalidations — it just never
+    acknowledges them), but the granter's delayed-invalidation queue
+    can then never drain: the ``liveness_inval`` pending-forever
+    oracle's target.
 """
 
 from __future__ import annotations
@@ -107,11 +122,60 @@ def skip_write_invalidation(deployment) -> None:
         node._classify_oqs_node = types.MethodType(_classify_oqs_node, node)
 
 
+def keeper_abandons_lapse(deployment) -> None:
+    _iqs, oqs = _dqvl_nodes(deployment)
+    for node in oqs:
+        # The healthy loop re-renews whenever the earliest quorum expiry
+        # nears; this variant breaks out the first time that deadline is
+        # already past (a real lapse — not the never-granted initial
+        # state), abandoning a volume that still has read interest.
+        def _volume_keeper(self, volume):
+            margin = self.config.renewal_margin_ms
+            while True:
+                now = self.clock.now()
+                interest = self._volume_interest.get(volume, float("-inf"))
+                if now - interest > self.config.interest_window_ms:
+                    break
+                deadline = min(
+                    (self.view.volume_expiry(volume, i) for i in self.iqs.nodes),
+                    default=float("-inf"),
+                )
+                if deadline > float("-inf") and deadline <= now:
+                    break  # the lapse: a healthy keeper would renew here
+                if deadline - now <= margin:
+                    yield from self._renew_volume_quorum(volume)
+                else:
+                    yield self.sim.sleep(max(deadline - now - margin, 1.0))
+                    continue
+                now = self.clock.now()
+                deadline = min(
+                    (self.view.volume_expiry(volume, i) for i in self.iqs.nodes),
+                    default=now,
+                )
+                yield self.sim.sleep(max(deadline - now - margin, 1.0))
+            self._keeper_exited(volume)
+        node._volume_keeper = types.MethodType(_volume_keeper, node)
+
+
+def drop_vl_acks(deployment) -> None:
+    _iqs, oqs = _dqvl_nodes(deployment)
+    for node in oqs:
+        original_send = node.send
+
+        def send(self, dst, kind, payload=None, reply_to=None, span=None):
+            if kind == "vl_ack":
+                return None
+            return original_send(dst, kind, payload, reply_to=reply_to, span=span)
+        node.send = types.MethodType(send, node)
+
+
 #: weakener registry (names are part of the corpus format — stable)
 WEAKENERS: Dict[str, Callable] = {
     "ignore_volume_expiry": ignore_volume_expiry,
     "ignore_object_invalidations": ignore_object_invalidations,
     "skip_write_invalidation": skip_write_invalidation,
+    "keeper_abandons_lapse": keeper_abandons_lapse,
+    "drop_vl_acks": drop_vl_acks,
 }
 
 

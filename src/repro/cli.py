@@ -20,14 +20,23 @@ Examples::
     python -m repro chaos --seeds 10 --protocols dqvl,majority
     python -m repro chaos --weaken ignore_volume_expiry --shrink
     python -m repro explore --weaken ignore_volume_expiry --budget 2000 --save
-    python -m repro explore --strategy dfs --budget 300
+    python -m repro explore --strategy dfs --budget 300 --por
+    python -m repro explore --strategy dfs --sweep-edges 2:5 --budget 200
     python -m repro trace --partition 200:400 --export chrome --out trace.json
     python -m repro trace --export jsonl --span-filter op --top-slow 5
+
+The ``run``/``chaos``/``explore``/``trace`` commands share one set of
+scenario flags (one :func:`_scenario_parent` per command, so defaults
+can differ); ``--num-edges``/``--edges`` and ``--num-clients``/
+``--clients`` are interchangeable spellings.  Their handlers build the
+runner configs through :class:`repro.scenario.ScenarioConfig`, the
+shared scenario core.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 from typing import List, Optional
@@ -37,8 +46,73 @@ from .harness.availability import AvailabilitySimConfig, run_availability_sim
 from .harness.experiment import ExperimentConfig, run_response_time
 from .harness.figures import FIGURES, generate_figure
 from .harness.report import format_series, format_table
+from .scenario import ScenarioConfig
 
 __all__ = ["main", "build_parser"]
+
+
+def _scenario_parent(
+    *,
+    ops: int,
+    clients: int,
+    edges: int,
+    ops_help: str = "operations per client",
+    protocol: bool = True,
+    seed: bool = True,
+    write_ratio: Optional[float] = None,
+    weaken: bool = False,
+) -> argparse.ArgumentParser:
+    """One parent parser for the shared scenario flags.
+
+    ``run``, ``chaos``, ``explore`` and ``trace`` all accept the same
+    spellings for the :class:`~repro.scenario.ScenarioConfig` core;
+    only the *defaults* differ per command (e.g. ``run`` simulates 9
+    edges where ``explore`` keeps the state space at 2), so each
+    subcommand instantiates its own parent.  ``chaos`` spells protocol
+    and seed as campaign-level flags (``--protocols``/``--seed-base``)
+    and opts out of the single-run variants here.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    if protocol:
+        parent.add_argument("--protocol", choices=sorted(PROTOCOL_DEPLOYERS),
+                            default="dqvl")
+    if seed:
+        parent.add_argument("--seed", type=int, default=0)
+    if write_ratio is not None:
+        parent.add_argument("--write-ratio", type=float, default=write_ratio)
+    parent.add_argument("--ops", type=int, default=ops, help=ops_help)
+    parent.add_argument("--num-clients", "--clients", dest="clients",
+                        type=int, default=clients)
+    parent.add_argument("--num-edges", "--edges", dest="edges",
+                        type=int, default=edges)
+    parent.add_argument("--lease-length-ms", type=float, default=None,
+                        help="volume lease length "
+                             "(default: the runner's own default)")
+    if weaken:
+        parent.add_argument("--weaken", default="",
+                            help="inject a named protocol bug "
+                                 "(see `repro protocols` for names)")
+    return parent
+
+
+def _scenario_from_args(args, **overrides) -> ScenarioConfig:
+    """The shared scenario core from parsed ``_scenario_parent`` flags.
+
+    *overrides* supplies fields a subcommand spells differently (chaos:
+    the per-run protocol and seed of a campaign point).
+    """
+    kwargs = dict(
+        num_edges=args.edges,
+        num_clients=args.clients,
+        ops_per_client=args.ops,
+    )
+    for name in ("protocol", "seed", "write_ratio", "weaken"):
+        if hasattr(args, name):
+            kwargs[name] = getattr(args, name)
+    if args.lease_length_ms is not None:
+        kwargs["lease_length_ms"] = args.lease_length_ms
+    kwargs.update(overrides)
+    return ScenarioConfig(**kwargs)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -57,14 +131,12 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument("--chart", action="store_true",
                      help="render an ASCII chart instead of a table")
 
-    run = sub.add_parser("run", help="one response-time experiment")
-    run.add_argument("--protocol", choices=sorted(PROTOCOL_DEPLOYERS), default="dqvl")
-    run.add_argument("--write-ratio", type=float, default=0.05)
+    run = sub.add_parser(
+        "run", help="one response-time experiment",
+        parents=[_scenario_parent(write_ratio=0.05, ops=200,
+                                  clients=3, edges=9)],
+    )
     run.add_argument("--locality", type=float, default=1.0)
-    run.add_argument("--ops", type=int, default=200)
-    run.add_argument("--clients", type=int, default=3)
-    run.add_argument("--edges", type=int, default=9)
-    run.add_argument("--seed", type=int, default=0)
     run.add_argument("--burst", type=float, default=None,
                      help="mean write-burst length (default: iid stream)")
     run.add_argument("--json", action="store_true")
@@ -110,6 +182,8 @@ def build_parser() -> argparse.ArgumentParser:
     chaos = sub.add_parser(
         "chaos",
         help="randomized fault campaign with consistency + invariant checks",
+        parents=[_scenario_parent(protocol=False, seed=False, weaken=True,
+                                  ops=40, clients=3, edges=3)],
     )
     chaos.add_argument("--protocols", default="dqvl",
                        help='comma-separated protocol list, or "all"')
@@ -120,12 +194,6 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--nemeses",
                        default="crash_storm,rolling_partition,loss_burst",
                        help='comma-separated nemesis list, or "all"')
-    chaos.add_argument("--ops", type=int, default=40,
-                       help="operations per client")
-    chaos.add_argument("--clients", type=int, default=3)
-    chaos.add_argument("--edges", type=int, default=3)
-    chaos.add_argument("--weaken", default="",
-                       help="inject a named protocol bug (harness self-test)")
     chaos.add_argument("--shrink", action="store_true",
                        help="minimize the first failing schedule and save a repro")
     chaos.add_argument("--corpus-dir", default="tests/chaos_corpus",
@@ -141,26 +209,28 @@ def build_parser() -> argparse.ArgumentParser:
     explore = sub.add_parser(
         "explore",
         help="systematic schedule-space exploration (repro.mc model checker)",
+        parents=[_scenario_parent(
+            weaken=True, ops=6, clients=2, edges=2,
+            ops_help="operations per client (keep small: the state "
+                     "space is what gets explored)",
+        )],
     )
-    explore.add_argument("--protocol", choices=sorted(PROTOCOL_DEPLOYERS),
-                         default="dqvl")
     explore.add_argument("--strategy", choices=["dfs", "walk"], default="walk",
                          help="dfs: bounded depth-first over choice prefixes; "
                               "walk: seeded random walks (default)")
     explore.add_argument("--budget", type=int, default=500,
                          help="maximum schedules to execute")
-    explore.add_argument("--seed", type=int, default=0)
-    explore.add_argument("--weaken", default="",
-                         help="inject a named protocol bug (harness self-test)")
-    explore.add_argument("--ops", type=int, default=6,
-                         help="operations per client (keep small: the state "
-                              "space is what gets explored)")
-    explore.add_argument("--clients", type=int, default=2)
-    explore.add_argument("--edges", type=int, default=2)
     explore.add_argument("--p-deviate", type=float, default=0.15,
                          help="walk: per-decision deviation probability")
     explore.add_argument("--max-depth", type=int, default=40,
                          help="dfs: branch only on the first N decisions")
+    explore.add_argument("--por", action=argparse.BooleanOptionalAction,
+                         default=None,
+                         help="partial-order reduction for the dfs strategy "
+                              "(default: on when sweeping, off otherwise)")
+    explore.add_argument("--sweep-edges", default=None, metavar="A:B",
+                         help="explore once per cluster size A..B (smallest "
+                              "first, stopping at the first witness)")
     explore.add_argument("--no-shrink", action="store_true",
                          help="skip ddmin minimization of the witness")
     explore.add_argument("--save", action="store_true",
@@ -172,16 +242,12 @@ def build_parser() -> argparse.ArgumentParser:
     trace = sub.add_parser(
         "trace",
         help="one traced run; exports a causal op→round→message timeline",
+        parents=[_scenario_parent(
+            write_ratio=0.2, ops=60, clients=3, edges=9,
+            ops_help="operations per client (small: traces are per-op)",
+        )],
     )
-    trace.add_argument("--protocol", choices=sorted(PROTOCOL_DEPLOYERS),
-                       default="dqvl")
-    trace.add_argument("--write-ratio", type=float, default=0.2)
     trace.add_argument("--locality", type=float, default=1.0)
-    trace.add_argument("--ops", type=int, default=60,
-                       help="operations per client (small: traces are per-op)")
-    trace.add_argument("--clients", type=int, default=3)
-    trace.add_argument("--edges", type=int, default=9)
-    trace.add_argument("--seed", type=int, default=0)
     trace.add_argument("--export", choices=["chrome", "jsonl"], default="chrome",
                        help="chrome: Perfetto/chrome://tracing JSON; "
                             "jsonl: one record per line")
@@ -238,16 +304,14 @@ def _cmd_figure(args) -> int:
 
 
 def _cmd_run(args) -> int:
-    config = ExperimentConfig(
-        protocol=args.protocol,
-        write_ratio=args.write_ratio,
-        locality=args.locality,
-        ops_per_client=args.ops,
-        num_clients=args.clients,
-        num_edges=args.edges,
-        seed=args.seed,
-        mean_write_burst=args.burst,
-    )
+    try:
+        config = _scenario_from_args(args).to_experiment(
+            locality=args.locality,
+            mean_write_burst=args.burst,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     result = run_response_time(config)
     s = result.summary
     payload = {
@@ -371,7 +435,7 @@ def _cmd_report(args) -> int:
 
 
 def _cmd_chaos(args) -> int:
-    from .chaos import NEMESES, ChaosRunConfig
+    from .chaos import NEMESES
     from .chaos.campaign import run_campaign
 
     protocols = (
@@ -384,23 +448,14 @@ def _cmd_chaos(args) -> int:
         if args.nemeses == "all"
         else [n for n in args.nemeses.split(",") if n]
     )
+    scenario = _scenario_from_args(args)
     configs = [
-        ChaosRunConfig(
-            protocol=protocol,
-            seed=args.seed_base + s,
-            nemeses=nemeses,
-            ops_per_client=args.ops,
-            num_clients=args.clients,
-            num_edges=args.edges,
-            weaken=args.weaken,
-        )
+        dataclasses.replace(
+            scenario, protocol=protocol, seed=args.seed_base + s
+        ).to_chaos(nemeses=nemeses, trace=args.trace)
         for protocol in protocols
         for s in range(args.seeds)
     ]
-    if args.trace:
-        import dataclasses
-
-        configs = [dataclasses.replace(c, trace=True) for c in configs]
     points = run_campaign(
         configs, workers=args.workers, cache=not args.no_cache
     )
@@ -476,24 +531,35 @@ def _cmd_chaos(args) -> int:
 
 
 def _cmd_explore(args) -> int:
-    from .mc import McRunConfig, explore, save_mc_repro
+    from .mc import explore, explore_sweep_edges, save_mc_repro
 
-    config = McRunConfig(
-        protocol=args.protocol,
-        seed=args.seed,
-        weaken=args.weaken,
-        num_edges=args.edges,
-        num_clients=args.clients,
-        ops_per_client=args.ops,
-    )
-    result = explore(
-        config,
+    config = _scenario_from_args(args).to_mc()
+    sweep = None
+    if args.sweep_edges is not None:
+        try:
+            lo, hi = (int(x) for x in args.sweep_edges.split(":", 1))
+            if not 1 <= lo <= hi:
+                raise ValueError(args.sweep_edges)
+        except ValueError:
+            print("--sweep-edges wants A:B with 1 <= A <= B, e.g. 2:5",
+                  file=sys.stderr)
+            return 2
+        sweep = range(lo, hi + 1)
+    por = args.por if args.por is not None else sweep is not None
+    explore_kwargs = dict(
         strategy=args.strategy,
         budget=args.budget,
         p_deviate=args.p_deviate,
         max_depth=args.max_depth,
         shrink=not args.no_shrink,
     )
+    if sweep is not None:
+        results = explore_sweep_edges(config, sweep, por=por, **explore_kwargs)
+    else:
+        results = [explore(config, por=por, **explore_kwargs)]
+    # The interesting result is the last one: the only one a sweep lets
+    # carry a witness, or the single exploration otherwise.
+    result = results[-1]
     saved_path = None
     if args.save and result.witness is not None:
         saved_path = save_mc_repro(result, args.corpus_dir)
@@ -505,9 +571,17 @@ def _cmd_explore(args) -> int:
             "weaken": args.weaken,
             "strategy": result.strategy,
             "runs": result.runs,
+            "pruned": result.pruned,
+            "por": por,
             "shrink_runs": result.shrink_runs,
             "ok": result.ok,
         }
+        if sweep is not None:
+            payload["sweep"] = [
+                {"num_edges": r.config.num_edges, "runs": r.runs,
+                 "pruned": r.pruned, "ok": r.ok}
+                for r in results
+            ]
         if result.shrunk is not None:
             payload.update({
                 "violation_types": result.shrunk.expected_types,
@@ -519,16 +593,30 @@ def _cmd_explore(args) -> int:
             payload["repro"] = saved_path
         print(json.dumps(payload, indent=2))
     elif result.ok:
-        print(
-            f"{args.protocol}"
-            + (f" (weakened: {args.weaken})" if args.weaken else "")
-            + f": no violation in {result.runs} {result.strategy} schedules"
+        label = args.protocol + (
+            f" (weakened: {args.weaken})" if args.weaken else ""
         )
+        if sweep is not None:
+            sizes = ", ".join(
+                f"{r.config.num_edges} edges: {r.runs} runs"
+                + (f" ({r.pruned} pruned)" if r.pruned else "")
+                for r in results
+            )
+            print(f"{label}: no violation across the sweep — {sizes}")
+        else:
+            print(
+                f"{label}: no violation in {result.runs} "
+                f"{result.strategy} schedules"
+                + (f" ({result.pruned} branches pruned)"
+                   if result.pruned else "")
+            )
     else:
         shrunk = result.shrunk
         print(
             f"{args.protocol}"
             + (f" (weakened: {args.weaken})" if args.weaken else "")
+            + (f" at {result.config.num_edges} edges"
+               if sweep is not None else "")
             + f": VIOLATION after {result.runs} {result.strategy} schedule(s)"
         )
         print(
@@ -568,17 +656,15 @@ def _cmd_trace(args) -> int:
                        groups=groups)
         ])
 
-    config = ExperimentConfig(
-        protocol=args.protocol,
-        write_ratio=args.write_ratio,
-        locality=args.locality,
-        ops_per_client=args.ops,
-        num_clients=args.clients,
-        num_edges=args.edges,
-        seed=args.seed,
-        trace=True,
-        fault_schedule=schedule,
-    )
+    try:
+        config = _scenario_from_args(args).to_experiment(
+            locality=args.locality,
+            trace=True,
+            fault_schedule=schedule,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     result = run_response_time(config)
     obs = result.obs
     assert obs is not None
@@ -608,8 +694,13 @@ def _cmd_trace(args) -> int:
 
 
 def _cmd_protocols(_args) -> int:
+    from .chaos import NEMESES
+    from .chaos.weaken import WEAKENERS
+
     print("response-time protocols:", ", ".join(sorted(PROTOCOL_DEPLOYERS)))
     print("figures:", ", ".join(sorted(FIGURES)))
+    print("weakeners:", ", ".join(sorted(WEAKENERS)))
+    print("nemeses:", ", ".join(sorted(NEMESES)))
     return 0
 
 

@@ -719,7 +719,21 @@ class DqvlOqsNode(Node):
                 default=now,
             )
             yield self.sim.sleep(max(deadline - now - margin, 1.0))
+        self._keeper_exited(volume)
+
+    def _keeper_exited(self, volume: str) -> None:
+        """Bookkeeping + trace event when a renewal keeper loop returns.
+
+        The ``warm`` flag tells liveness oracles whether the volume still
+        had recent read interest at exit time: a healthy keeper only ever
+        exits *cold* (interest window elapsed), so a warm exit is a
+        keeper that abandoned a volume it was still responsible for.
+        """
         self._keeper_running.discard(volume)
+        now = self.clock.now()
+        interest = self._volume_interest.get(volume, float("-inf"))
+        warm = now - interest <= self.config.interest_window_ms
+        self.tracer.emit(self.node_id, "keeper_exit", vol=volume, warm=warm)
 
     def _renew_volume_quorum(self, volume: str):
         """Renew the volume lease from every member of an IQS read quorum

@@ -28,11 +28,13 @@ choices), and persist byte-replayable repros.
 
 from __future__ import annotations
 
+import dataclasses
 import random
 from dataclasses import dataclass
-from typing import Any, Callable, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..sim.kernel import ScheduleController
+from .por import Footprint, footprint_of
 
 __all__ = ["Decision", "RecordingController", "walk_policy"]
 
@@ -44,11 +46,18 @@ class Decision:
     ``kind`` is ``"event"`` or ``"deliver"``, ``n`` the number of
     alternatives that were available, ``chosen`` the index taken
     (``0 <= chosen < n``; ``0`` is always the canonical choice).
+
+    ``footprints`` is only populated on ``event`` decisions of runs
+    recorded with ``track_footprints=True``: the POR footprint of each
+    slot alternative, in offer order.  It is *metadata for the DFS* —
+    deliberately excluded from serialized repros so witness bytes are
+    identical with and without tracking.
     """
 
     kind: str
     n: int
     chosen: int
+    footprints: Optional[Tuple[Footprint, ...]] = None
 
 
 class RecordingController(ScheduleController):
@@ -69,6 +78,13 @@ class RecordingController(ScheduleController):
     max_defer:
         Highest deferral multiple, so each delivery point has
         ``max_defer + 1`` alternatives.
+    track_footprints:
+        Record per-alternative POR footprints on ``event`` decisions
+        (see :mod:`repro.mc.por`).  Opts the controller into the
+        kernel's slot-aware protocol (``wants_slot``), which also makes
+        the kernel publish ownership labels (``Simulator.exec_label``)
+        so sleeps/processes inherit their owning node.  Choices and
+        decision order are identical either way.
     """
 
     def __init__(
@@ -78,6 +94,7 @@ class RecordingController(ScheduleController):
         *,
         defer_ms: float = 650.0,
         max_defer: int = 1,
+        track_footprints: bool = False,
     ) -> None:
         if defer_ms < 0:
             raise ValueError("defer_ms must be non-negative")
@@ -88,6 +105,18 @@ class RecordingController(ScheduleController):
         self.defer_ms = defer_ms
         self.max_defer = max_defer
         self.decisions: List[Decision] = []
+        self.track_footprints = track_footprints
+        self.wants_slot = track_footprints
+        #: the run's shared RNG when it is a :class:`CountingRandom`;
+        #: bound by the runner so draws can be attributed to events.
+        self.rng: Any = None
+        # decision index -> mutable footprint list for that slot
+        self._slot_fps: Dict[int, List[Footprint]] = {}
+        # id(entry) -> (entry ref, [(decision index, position)]) — strong
+        # refs guard against id() reuse after an entry is garbage-collected
+        self._entry_sites: Dict[int, Tuple[Any, List[Tuple[int, int]]]] = {}
+        self._executing: Optional[tuple] = None
+        self._draws_before: int = 0
 
     @property
     def choices(self) -> List[int]:
@@ -110,6 +139,58 @@ class RecordingController(ScheduleController):
 
     def choose_event(self, n: int) -> int:
         return self._choose("event", n)
+
+    def choose_event_slot(self, slot: List[tuple]) -> int:
+        if not self.track_footprints:
+            return self._choose("event", len(slot))
+        index = len(self.decisions)
+        fps = [footprint_of(entry) for entry in slot]
+        self._slot_fps[index] = fps
+        for pos, entry in enumerate(slot):
+            self._entry_sites.setdefault(id(entry), (entry, []))[1].append(
+                (index, pos)
+            )
+        return self._choose("event", len(slot))
+
+    def note_executed(self, entry: tuple) -> Optional[str]:
+        self._flush_rng()
+        self._executing = entry
+        if self.rng is not None:
+            self._draws_before = self.rng.draws
+        return footprint_of(entry).node
+
+    def finalize(self) -> None:
+        """Fold recorded footprints into :attr:`decisions`.
+
+        Call once after the run completes.  Flushes the pending RNG
+        attribution for the last executed event, then rebuilds each
+        tracked ``event`` decision with its footprint tuple.
+        """
+        self._flush_rng()
+        self._executing = None
+        for index, fps in self._slot_fps.items():
+            self.decisions[index] = dataclasses.replace(
+                self.decisions[index], footprints=tuple(fps)
+            )
+
+    def _flush_rng(self) -> None:
+        """Attribute shared-RNG draws to the event that just executed.
+
+        An event that consumed randomness conflicts with every *other*
+        rng-consuming event through the shared draw sequence (swapping
+        two drawers reassigns their draws), so its footprint is marked
+        ``rng`` at every decision that offered it (the sites map
+        remembers each offer); non-drawing events still commute with it.
+        """
+        entry = self._executing
+        if entry is None or self.rng is None:
+            return
+        if self.rng.draws == self._draws_before:
+            return
+        _ref, sites = self._entry_sites.get(id(entry), (None, ()))
+        for index, pos in sites:
+            fp = self._slot_fps[index][pos]
+            self._slot_fps[index][pos] = dataclasses.replace(fp, rng=True)
 
     def message_delay(self, message: Any, delay: float) -> float:
         if self.max_defer == 0:

@@ -26,7 +26,12 @@ __all__ = [
     "replay_mc_repro",
 ]
 
-MC_REPRO_FORMAT = 1
+#: format 2 embeds the full :meth:`ExploreResult.to_json_obj` payload
+#: under ``"explore"``; the load keys (``config``/``choices``/
+#: ``expected_types``) are unchanged, so format-1 files stay loadable.
+MC_REPRO_FORMAT = 2
+
+_LOADABLE_FORMATS = (1, 2)
 
 
 def save_mc_repro(
@@ -62,6 +67,7 @@ def save_mc_repro(
         "config": dataclasses.asdict(config),
         "choices": choices,
         "expected_types": witness.expected_types,
+        "explore": result.to_json_obj(),
     }
     with open(path, "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
@@ -73,7 +79,7 @@ def load_mc_repro(path: str) -> Tuple[McRunConfig, List[int], List[str]]:
     """Read a corpus repro back as (config, choices, expected_types)."""
     with open(path) as fh:
         payload = json.load(fh)
-    if payload.get("format") != MC_REPRO_FORMAT:
+    if payload.get("format") not in _LOADABLE_FORMATS:
         raise ValueError(
             f"{path}: unsupported mc repro format {payload.get('format')!r}"
         )

@@ -43,6 +43,8 @@ from ..sim.kernel import Simulator
 from ..workload.generators import BernoulliOpStream, ZipfKeyChooser
 from ..workload.runner import closed_loop
 from .controller import Decision, RecordingController
+from .liveness import LivenessMonitor
+from .por import CountingRandom
 
 __all__ = ["McRunConfig", "McRunResult", "run_schedule"]
 
@@ -85,24 +87,17 @@ class McRunConfig:
         # topology sizes); the instance itself is rebuilt in run_schedule.
         self._chaos_config()
 
+    def scenario(self):
+        """The shared scenario core (see :mod:`repro.scenario`)."""
+        from ..scenario import ScenarioConfig
+
+        return ScenarioConfig.from_mc(self)
+
     def _chaos_config(self) -> ChaosRunConfig:
-        return ChaosRunConfig(
-            protocol=self.protocol,
-            seed=self.seed,
-            nemeses=(),
-            num_edges=self.num_edges,
-            num_clients=self.num_clients,
-            ops_per_client=self.ops_per_client,
-            write_ratio=self.write_ratio,
-            num_keys=self.num_keys,
-            horizon_ms=1.0,
-            lease_length_ms=self.lease_length_ms,
-            max_drift=self.max_drift,
-            jitter_ms=self.jitter_ms,
-            client_max_attempts=self.client_max_attempts,
-            weaken=self.weaken,
-            time_limit_ms=self.time_limit_ms,
-        )
+        # The mc run borrows the chaos engine's deployment builder and
+        # validation; the conversion goes through the shared scenario
+        # core instead of hand-copying each field.
+        return self.scenario().to_chaos(nemeses=(), horizon_ms=1.0)
 
 
 @dataclass
@@ -158,28 +153,49 @@ def run_schedule(
     choices: Sequence[int] = (),
     *,
     fallback: Optional[Callable[[str, int], int]] = None,
+    track_footprints: bool = False,
 ) -> McRunResult:
     """Execute one run under ``(config, choices)``; returns the outcome.
 
     *choices* is replayed as the forced prefix; *fallback* decides
     beyond it (``None`` = canonical order — this is how a recorded
     schedule is replayed: force everything, run deterministic).
+
+    *track_footprints* additionally records per-alternative POR
+    footprints on every ``event`` decision (see :mod:`repro.mc.por`);
+    the run itself — choices, decision order, trace bytes — is
+    identical with it on or off.
     """
     chaos_config = config._chaos_config()
     sim = Simulator(seed=config.seed)
     controller = RecordingController(
-        choices, fallback, defer_ms=config.defer_ms, max_defer=config.max_defer
+        choices,
+        fallback,
+        defer_ms=config.defer_ms,
+        max_defer=config.max_defer,
+        track_footprints=track_footprints,
     )
     sim.controller = controller
+    if track_footprints:
+        # Same seed, same draw sequence, plus a draw counter: lets the
+        # controller poison the footprint of any event that consumed
+        # shared randomness (see por.py's soundness notes).
+        sim.rng = CountingRandom(config.seed)
+        controller.rng = sim.rng
     topology, deployment = _build_deployment(chaos_config, sim)
     servers = _server_nodes(deployment)
 
     monitor: Optional[InvariantMonitor] = None
+    liveness: Optional[LivenessMonitor] = None
     if config.protocol in ("dqvl", "basic_dq"):
         # max_violations=1: the explorer asks "does this schedule
         # violate?", and a single witness answers it.
         monitor = InvariantMonitor(sim, max_violations=1)
         monitor.attach(topology.network, servers)
+        liveness = LivenessMonitor(
+            sim, defer_ms=config.defer_ms, max_defer=config.max_defer
+        )
+        liveness.attach(topology.network, servers)
     apply_weakener(deployment, config.weaken)
 
     history = History()
@@ -195,7 +211,10 @@ def run_schedule(
         )
         procs.append(
             sim.spawn(
-                closed_loop(sim, client, stream, history, config.ops_per_client)
+                closed_loop(sim, client, stream, history, config.ops_per_client),
+                # Named after the direct client's node id so POR
+                # footprints attribute the workload loop to its client.
+                name=f"appsc{c}",
             )
         )
 
@@ -212,6 +231,7 @@ def run_schedule(
             break
     if monitor is not None:
         monitor.check_now()
+    controller.finalize()
 
     violations: List[Dict[str, Any]] = []
     for c, proc in enumerate(procs):
@@ -236,6 +256,13 @@ def run_schedule(
     if monitor is not None:
         for obj in monitor.report():
             violations.append({"type": "invariant", **obj})
+    if liveness is not None:
+        liveness.finalize(
+            history.ops,
+            client_max_attempts=config.client_max_attempts,
+            lease_length_ms=config.lease_length_ms,
+        )
+        violations.extend(liveness.report())
 
     stats = {
         "ops_recorded": len(history),

@@ -1,0 +1,223 @@
+"""Unified scenario description shared by every runner in the repo.
+
+Three runners grew three overlapping config dataclasses:
+
+* :class:`~repro.harness.experiment.ExperimentConfig` — response-time
+  experiments (``repro run`` / figures / sweeps);
+* :class:`~repro.chaos.campaign.ChaosRunConfig` — randomized fault
+  campaigns (``repro chaos``);
+* :class:`~repro.mc.runner.McRunConfig` — controlled-schedule model
+  checking (``repro explore``).
+
+They agree on a core of *scenario* fields (protocol, seed, topology
+size, workload shape, lease parameters) and differ only in
+runner-specific knobs (fault horizons, deferral quanta, warm-up ops).
+:class:`ScenarioConfig` owns that shared core once, with explicit
+converters — ``to_experiment()`` / ``to_chaos()`` / ``to_mc()`` — whose
+keyword overrides reach every runner-specific field of the legacy
+configs.  The legacy constructors keep working unchanged; internally
+``McRunConfig`` now derives its validation config through this module
+instead of hand-copying fields (the old private
+``McRunConfig._chaos_config`` duplication).
+
+Unset semantics
+---------------
+A field left at :data:`UNSET` means "use the target config's own
+default", which differs per runner (e.g. ``num_edges`` defaults to 9
+for experiments, 3 for chaos, 2 for mc).  ``None`` is therefore
+preserved as a *real* value where the legacy configs use it (e.g.
+``client_max_attempts=None`` = retry forever).
+
+Sweep-cache note
+----------------
+The legacy dataclasses keep their exact fields, so
+:func:`repro.harness.sweeps.point_key` inputs are unchanged; cache keys
+also include :func:`~repro.harness.sweeps.code_version`, which hashes
+every source file, so introducing this module invalidates old cache
+entries exactly once — the "bump deliberately" option of the redesign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, Optional
+
+__all__ = ["UNSET", "ScenarioConfig"]
+
+
+class _Unset:
+    """Sentinel: 'use the target config's own default'."""
+
+    _instance: Optional["_Unset"] = None
+
+    def __new__(cls) -> "_Unset":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "UNSET"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+UNSET = _Unset()
+
+#: the shared scenario fields, in declaration order
+SHARED_FIELDS = (
+    "protocol",
+    "seed",
+    "weaken",
+    "num_edges",
+    "num_clients",
+    "ops_per_client",
+    "write_ratio",
+    "num_keys",
+    "lease_length_ms",
+    "max_drift",
+    "jitter_ms",
+    "client_max_attempts",
+    "time_limit_ms",
+)
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """The scenario core common to experiments, chaos runs, and mc runs.
+
+    Fields with concrete defaults (``protocol``, ``seed``, ``weaken``)
+    agree across all three legacy configs; everything else defaults to
+    :data:`UNSET` and falls back to the target runner's own default on
+    conversion.
+    """
+
+    protocol: str = "dqvl"
+    seed: int = 0
+    #: named bug injection from :mod:`repro.chaos.weaken` ('' = healthy)
+    weaken: str = ""
+    num_edges: Any = UNSET
+    num_clients: Any = UNSET
+    ops_per_client: Any = UNSET
+    write_ratio: Any = UNSET
+    num_keys: Any = UNSET
+    lease_length_ms: Any = UNSET
+    max_drift: Any = UNSET
+    jitter_ms: Any = UNSET
+    client_max_attempts: Any = UNSET
+    time_limit_ms: Any = UNSET
+
+    # -- extraction --------------------------------------------------------
+
+    def _set_kwargs(self, *names: str) -> dict:
+        """The named fields that are actually set (not UNSET)."""
+        out = {}
+        for name in names:
+            value = getattr(self, name)
+            if value is not UNSET:
+                out[name] = value
+        return out
+
+    @classmethod
+    def _from_obj(cls, obj: Any) -> "ScenarioConfig":
+        kwargs = {}
+        for f in fields(cls):
+            if hasattr(obj, f.name):
+                kwargs[f.name] = getattr(obj, f.name)
+        return cls(**kwargs)
+
+    @classmethod
+    def from_experiment(cls, config: Any) -> "ScenarioConfig":
+        """Extract the shared core of an :class:`ExperimentConfig`."""
+        return cls._from_obj(config)
+
+    @classmethod
+    def from_chaos(cls, config: Any) -> "ScenarioConfig":
+        """Extract the shared core of a :class:`ChaosRunConfig`."""
+        return cls._from_obj(config)
+
+    @classmethod
+    def from_mc(cls, config: Any) -> "ScenarioConfig":
+        """Extract the shared core of an :class:`McRunConfig`."""
+        return cls._from_obj(config)
+
+    # -- conversion --------------------------------------------------------
+
+    def to_chaos(self, **overrides: Any):
+        """Build a :class:`~repro.chaos.campaign.ChaosRunConfig`.
+
+        Runner-specific fields (``nemeses``, ``horizon_ms``,
+        ``sample_interval_ms``, ``trace``) are reachable through
+        *overrides*; explicit overrides also win over scenario fields.
+        """
+        from .chaos.campaign import ChaosRunConfig
+
+        kwargs = self._set_kwargs(*SHARED_FIELDS)
+        kwargs.update(overrides)
+        return ChaosRunConfig(**kwargs)
+
+    def to_mc(self, **overrides: Any):
+        """Build a :class:`~repro.mc.runner.McRunConfig`.
+
+        Runner-specific fields (``defer_ms``, ``max_defer``) are
+        reachable through *overrides*.
+        """
+        from .mc.runner import McRunConfig
+
+        kwargs = self._set_kwargs(*SHARED_FIELDS)
+        kwargs.update(overrides)
+        return McRunConfig(**kwargs)
+
+    def to_experiment(self, **overrides: Any):
+        """Build an :class:`~repro.harness.experiment.ExperimentConfig`.
+
+        Experiments have no bug-injection hook, so a set ``weaken``
+        raises rather than being dropped silently.  ``num_keys`` has no
+        experiment equivalent (the response-time workload derives its
+        key population from locality) and is ignored.  The lease fields
+        (``lease_length_ms``, ``max_drift``, ``client_max_attempts``)
+        map into ``deploy_kwargs`` for the DQVL-family protocols;
+        ``jitter_ms`` maps into the topology config.  Every other
+        :class:`ExperimentConfig` field (``locality``, ``mode``,
+        ``warmup_ops``, ``mean_write_burst``, ``think_time_ms``,
+        ``trace``, ``fault_schedule``, ...) is reachable via
+        *overrides*.
+        """
+        from .core.config import DqvlConfig
+        from .edge.topology import EdgeTopologyConfig
+        from .harness.experiment import ExperimentConfig
+
+        if self.weaken:
+            raise ValueError(
+                "experiments have no weakener hook; use to_chaos()/to_mc() "
+                f"for weakened runs (weaken={self.weaken!r})"
+            )
+        kwargs = self._set_kwargs(
+            "protocol", "seed", "num_edges", "num_clients",
+            "ops_per_client", "write_ratio", "time_limit_ms",
+        )
+        if self.jitter_ms is not UNSET and "topology" not in overrides:
+            kwargs["topology"] = EdgeTopologyConfig(jitter_ms=self.jitter_ms)
+        lease_kwargs = self._set_kwargs("lease_length_ms", "max_drift")
+        wants_deploy = (
+            lease_kwargs or self.client_max_attempts is not UNSET
+        ) and "deploy_kwargs" not in overrides
+        if wants_deploy:
+            if self.protocol in ("dqvl", "basic_dq"):
+                deploy: dict = {}
+                if lease_kwargs:
+                    deploy["config"] = DqvlConfig(
+                        proactive_renewal=(self.protocol == "dqvl"),
+                        **lease_kwargs,
+                    )
+                if self.client_max_attempts is not UNSET:
+                    deploy["client_max_attempts"] = self.client_max_attempts
+                kwargs["deploy_kwargs"] = deploy
+            else:
+                raise ValueError(
+                    "lease_length_ms/max_drift/client_max_attempts only map "
+                    f"to DQVL-family deployments, not {self.protocol!r}; "
+                    "pass deploy_kwargs explicitly"
+                )
+        kwargs.update(overrides)
+        return ExperimentConfig(**kwargs)

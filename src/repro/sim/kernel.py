@@ -88,7 +88,9 @@ class Future:
     :meth:`add_callback`.
     """
 
-    __slots__ = ("_sim", "_done", "_value", "_exception", "_callbacks", "name")
+    __slots__ = (
+        "_sim", "_done", "_value", "_exception", "_callbacks", "name", "label",
+    )
 
     def __init__(self, sim: "Simulator", name: str = "") -> None:
         self._sim = sim
@@ -97,6 +99,13 @@ class Future:
         self._exception: Optional[BaseException] = None
         self._callbacks: List[Callable[["Future"], None]] = []
         self.name = name
+        #: ownership label inherited from the event being executed when
+        #: the future was created (``Simulator.exec_label``).  ``None``
+        #: outside controlled runs; the schedule explorer's
+        #: partial-order reduction uses it to attribute sleep wake-ups
+        #: and process resumptions to the node whose code created them
+        #: (see :mod:`repro.mc.por`).
+        self.label = sim.exec_label
 
     # -- state inspection -------------------------------------------------
 
@@ -275,10 +284,35 @@ class ScheduleController:
     recording, replaying, and exploring controllers on top of it.
     """
 
+    #: opt-in: controllers that need the slot *contents* (not just its
+    #: size) — e.g. to derive per-event footprints for partial-order
+    #: reduction — set this True, and the controlled loop consults
+    #: :meth:`choose_event_slot` / :meth:`note_executed` instead of the
+    #: plain :meth:`choose_event`.  Default False keeps every existing
+    #: controller (and its ``choose_event`` signature) working untouched.
+    wants_slot = False
+
     def choose_event(self, n: int) -> int:
         """Index (``0 <= i < n``) of the next event to execute among the
         *n* runnable at this instant, presented in canonical order."""
         return 0
+
+    def choose_event_slot(self, slot: List[tuple]) -> int:
+        """Slot-aware variant of :meth:`choose_event`, consulted instead
+        when :attr:`wants_slot` is True.  *slot* is the list of
+        ``(timer_or_None, fn, args)`` entries runnable at this instant,
+        in canonical order; the controller may inspect (but must not
+        mutate) it.  The default delegates to :meth:`choose_event`."""
+        return self.choose_event(len(slot))
+
+    def note_executed(self, entry: tuple) -> Optional[str]:
+        """Called (only when :attr:`wants_slot` is True) immediately
+        before each controlled event executes — including singleton
+        slots that never reach :meth:`choose_event_slot`.  Returns an
+        optional ownership label; the kernel publishes it as
+        ``Simulator.exec_label`` for the duration of the event, so
+        futures created during execution inherit their owner."""
+        return None
 
     def message_delay(self, message: Any, delay: float) -> float:
         """Delivery delay for *message*; *delay* is the delay-model draw
@@ -314,6 +348,11 @@ class Simulator:
         #: optional :class:`ScheduleController`; ``None`` (the default)
         #: keeps the fast two-lane run loop
         self.controller: Optional[ScheduleController] = None
+        #: ownership label of the event currently executing on the
+        #: controlled path (set from ``controller.note_executed`` when
+        #: the controller opts in via ``wants_slot``); always ``None``
+        #: on the fast path.  Freshly created futures snapshot it.
+        self.exec_label: Optional[str] = None
 
     # -- clock ------------------------------------------------------------
 
@@ -471,6 +510,7 @@ class Simulator:
         queue = self._queue
         heappop = heapq.heappop
         controller = self.controller
+        wants_slot = getattr(controller, "wants_slot", False)
         slot: List[tuple] = []
         try:
             while True:
@@ -501,14 +541,24 @@ class Simulator:
                     return self._now
                 if max_events is not None and processed >= max_events:
                     return self._now
-                index = controller.choose_event(len(slot)) if len(slot) > 1 else 0
+                if len(slot) > 1:
+                    if wants_slot:
+                        index = controller.choose_event_slot(slot)
+                    else:
+                        index = controller.choose_event(len(slot))
+                else:
+                    index = 0
                 if not 0 <= index < len(slot):
                     index = 0
-                _timer, fn, args = slot.pop(index)
+                entry = slot.pop(index)
                 processed += 1
-                fn(*args)
+                if wants_slot:
+                    self.exec_label = controller.note_executed(entry)
+                entry[1](*entry[2])
         finally:
             self._events_processed += processed
+            if wants_slot:
+                self.exec_label = None
         if until is not None and until > self._now:
             self._now = until
         return self._now

@@ -157,6 +157,7 @@ class Node:
                 if self._pending_rpcs.pop(message.msg_id, None) is not None:
                     future.fail(RpcTimeout(self.node_id, dst, kind, timeout))
 
+            on_timeout._mc_node = self.node_id  # POR footprint: node-local
             timer = self.sim.schedule(timeout, on_timeout)
         self._pending_rpcs[message.msg_id] = (future, timer)
         return future
@@ -219,6 +220,7 @@ class Node:
             if self.alive and self._crash_count == epoch:
                 fn(*args)
 
+        guarded._mc_node = self.node_id  # POR footprint: node-local
         return self.sim.schedule(delay, guarded)
 
     def spawn(self, generator, name: str = ""):

@@ -1,0 +1,159 @@
+"""Tests for partial-order reduction: footprints, independence, pruning.
+
+The soundness pillar here is :func:`crosscheck_por` — an *empirical*
+proof on a small config that the pruned DFS reaches exactly the same
+set of observable outcomes as the full one.  The other tests pin the
+independence relation's conflict table, the RNG draw accounting, and
+the acceptance ratio (POR runs <= 40% of the full DFS at equal depth).
+"""
+
+import random
+
+import pytest
+
+from repro.mc import (
+    McRunConfig,
+    crosscheck_por,
+    explore,
+    explore_sweep_edges,
+    run_schedule,
+)
+from repro.mc.por import UNIVERSAL, CountingRandom, Footprint, independent
+
+#: smallest interesting scenario: one client, two ops, one key — the
+#: exhaustive cross-check stays under a hundred runs at depth 6
+TINY = dict(num_clients=1, ops_per_client=2, num_keys=1)
+
+
+class TestIndependence:
+    def test_distinct_nodes_commute(self):
+        assert independent(Footprint(node="oqs0"), Footprint(node="iqs1"))
+
+    def test_same_node_conflicts(self):
+        fp = Footprint(node="oqs0")
+        assert not independent(fp, Footprint(node="oqs0"))
+
+    def test_unknown_node_conflicts_with_everything(self):
+        assert not independent(Footprint(node=None), Footprint(node="a"))
+        assert not independent(Footprint(node="a"), Footprint(node=None))
+
+    def test_universal_conflicts_with_everything(self):
+        assert not independent(UNIVERSAL, Footprint(node="a"))
+        assert not independent(Footprint(node="a"), UNIVERSAL)
+
+    def test_shared_message_token_conflicts(self):
+        a = Footprint(node="a", tokens=frozenset({7}))
+        b = Footprint(node="b", tokens=frozenset({7, 9}))
+        assert not independent(a, b)
+        assert independent(a, Footprint(node="b", tokens=frozenset({9})))
+
+    def test_shared_key_conflicts(self):
+        a = Footprint(node="a", keys=frozenset({"k0"}))
+        b = Footprint(node="b", keys=frozenset({"k0"}))
+        assert not independent(a, b)
+        assert independent(a, Footprint(node="b", keys=frozenset({"k1"})))
+
+    def test_rng_conflicts_only_pairwise(self):
+        drawer_a = Footprint(node="a", rng=True)
+        drawer_b = Footprint(node="b", rng=True)
+        bystander = Footprint(node="c")
+        # two drawers swap their position in the shared draw sequence
+        assert not independent(drawer_a, drawer_b)
+        # a non-drawing event leaves the sequence untouched either side
+        assert independent(drawer_a, bystander)
+        assert independent(bystander, drawer_b)
+
+
+class TestCountingRandom:
+    def test_bit_identical_to_plain_random(self):
+        counted, plain = CountingRandom(42), random.Random(42)
+        assert [counted.random() for _ in range(20)] == \
+               [plain.random() for _ in range(20)]
+        assert counted.randrange(100) == plain.randrange(100)
+        assert counted.gauss(0, 1) == plain.gauss(0, 1)
+
+    def test_draws_count_all_entry_points(self):
+        rng = CountingRandom(0)
+        assert rng.draws == 0
+        rng.random()
+        assert rng.draws == 1
+        rng.randrange(10)  # goes through getrandbits
+        assert rng.draws > 1
+
+
+class TestTrackedRuns:
+    def test_trace_bytes_identical_with_and_without_tracking(self):
+        config = McRunConfig()
+        plain = run_schedule(config)
+        tracked = run_schedule(config, track_footprints=True)
+        assert plain.trace_text == tracked.trace_text
+
+    def test_footprints_populated_only_when_tracking(self):
+        config = McRunConfig()
+        plain = run_schedule(config)
+        assert all(d.footprints is None for d in plain.decisions)
+        tracked = run_schedule(config, track_footprints=True)
+        events = [d for d in tracked.decisions if d.kind == "event"]
+        assert events, "default scenario must hit same-instant slots"
+        assert all(
+            d.footprints is not None and len(d.footprints) == d.n
+            for d in events
+        )
+        # deliver decisions carry no footprints (they are not prunable)
+        assert all(
+            d.footprints is None
+            for d in tracked.decisions if d.kind == "deliver"
+        )
+
+
+class TestPorDfs:
+    def test_por_prunes_at_least_60_percent_of_branches(self):
+        """The acceptance ratio: at equal depth on the default scenario,
+        the POR DFS must run <= 40% of the plain DFS's schedules."""
+        config = McRunConfig()
+        full = explore(config, strategy="dfs", budget=2_000,
+                       max_depth=6, shrink=False, por=False)
+        por = explore(config, strategy="dfs", budget=2_000,
+                      max_depth=6, shrink=False, por=True)
+        assert full.ok and por.ok
+        assert full.pruned == 0 and por.pruned > 0
+        assert por.runs <= 0.40 * full.runs
+
+    def test_por_still_finds_canonical_witness(self):
+        result = explore(
+            McRunConfig(weaken="skip_write_invalidation"),
+            strategy="dfs", budget=10, por=True,
+        )
+        assert not result.ok and result.runs == 1
+
+    def test_crosscheck_equivalence_on_tiny_config(self):
+        report = crosscheck_por(McRunConfig(**TINY), max_depth=6,
+                                budget=5_000)
+        assert report["equivalent"]
+        assert report["pruned"] > 0
+        assert report["por_runs"] < report["full_runs"]
+        assert report["missing"] == 0 and report["extra"] == 0
+
+    def test_crosscheck_rejects_insufficient_budget(self):
+        with pytest.raises(ValueError, match="too small to exhaust"):
+            crosscheck_por(McRunConfig(**TINY), max_depth=6, budget=3)
+
+
+class TestSweepEdges:
+    def test_sweep_stops_at_first_witness(self):
+        results = explore_sweep_edges(
+            McRunConfig(weaken="skip_write_invalidation"), [2, 3],
+            strategy="dfs", budget=10, shrink=False,
+        )
+        # the bug fires at 2 edges, so 3 edges is never explored
+        assert len(results) == 1
+        assert results[0].config.num_edges == 2
+        assert not results[0].ok
+
+    def test_sweep_covers_every_size_when_clean(self):
+        results = explore_sweep_edges(
+            McRunConfig(), [2, 3],
+            strategy="dfs", budget=8, max_depth=4, shrink=False,
+        )
+        assert [r.config.num_edges for r in results] == [2, 3]
+        assert all(r.ok for r in results)
