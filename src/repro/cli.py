@@ -141,6 +141,22 @@ def build_parser() -> argparse.ArgumentParser:
                      help="mean write-burst length (default: iid stream)")
     run.add_argument("--json", action="store_true")
 
+    shard = sub.add_parser(
+        "shard", help="one large scenario, sharded across worker processes",
+        parents=[_scenario_parent(write_ratio=0.05, ops=200,
+                                  clients=24, edges=9)],
+    )
+    shard.add_argument("--locality", type=float, default=1.0)
+    shard.add_argument("--groups", type=int, default=8,
+                       help="fixed client groups (the unit of execution; "
+                            "results depend on this, never on --workers)")
+    shard.add_argument("--workers", type=int, default=None,
+                       help="worker processes (default: REPRO_SWEEP_WORKERS "
+                            "or cpu count)")
+    shard.add_argument("--no-cache", action="store_true",
+                       help="bypass the sweep result cache")
+    shard.add_argument("--json", action="store_true")
+
     avail = sub.add_parser("availability", help="measured availability")
     avail.add_argument(
         "--protocol",
@@ -335,6 +351,51 @@ def _cmd_run(args) -> int:
             ["metric", "value"],
             [[k, v if v is not None else "-"] for k, v in payload.items()],
             title=f"{args.protocol}: response-time experiment",
+        ))
+    return 0
+
+
+def _cmd_shard(args) -> int:
+    from .harness.shards import run_sharded
+
+    try:
+        config = _scenario_from_args(args).to_experiment(locality=args.locality)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    result = run_sharded(
+        config,
+        num_groups=args.groups,
+        workers=args.workers,
+        cache=not args.no_cache,
+    )
+    s = result.summary
+    payload = {
+        "protocol": args.protocol,
+        "write_ratio": args.write_ratio,
+        "locality": args.locality,
+        "groups": result.num_groups,
+        "overall_ms": s.overall.mean,
+        "read_ms": s.reads.mean,
+        "write_ms": s.writes.mean,
+        "p50_ms": s.overall.p50,
+        "p95_ms": s.overall.p95,
+        "p99_ms": s.overall.p99,
+        "read_hit_rate": s.read_hit_rate,
+        "availability": s.availability,
+        "messages_per_request": result.messages_per_request,
+        "requests": result.total_requests,
+        "sim_time_ms": result.sim_time_ms,
+    }
+    if args.json:
+        payload["metrics"] = result.metrics
+        print(json.dumps(payload, indent=2))
+    else:
+        print(format_table(
+            ["metric", "value"],
+            [[k, v if v is not None else "-"] for k, v in payload.items()],
+            title=f"{args.protocol}: sharded scenario "
+                  f"({result.num_groups} groups)",
         ))
     return 0
 
@@ -709,6 +770,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "figure": _cmd_figure,
         "run": _cmd_run,
+        "shard": _cmd_shard,
         "availability": _cmd_availability,
         "sweep": _cmd_sweep,
         "report": _cmd_report,

@@ -1,0 +1,197 @@
+"""Sharded multi-core execution of one large scenario.
+
+A response-time scenario with many clients is embarrassingly parallel
+in this workload model: each closed-loop client reads and writes *its
+own* object (see :mod:`repro.harness.experiment`), so clients never
+contend on protocol state across groups.  This module exploits that by
+splitting one large :class:`~repro.harness.experiment.ExperimentConfig`
+into a fixed number of *groups*, running each group as an independent
+simulation on the :func:`~repro.harness.sweeps.run_sweep` process pool,
+and merging the per-group results back into one summary.
+
+Determinism contract
+--------------------
+The decomposition is part of the scenario, not of the execution: group
+boundaries and per-group seeds depend only on the base config and
+``num_groups``, never on the worker count.  Raw latency samples cross
+the process boundary (via the sweep ``collect`` hook) and the merged
+:class:`~repro.harness.metrics.HistorySummary` is recomputed from the
+concatenated samples with the same nearest-rank percentiles a single
+history would use — so running with 1 worker or 16 workers produces a
+byte-identical merged summary (the CI shard-merge smoke locks this in).
+Merged metrics are plain summed counters over sorted keys, equally
+order-independent.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from .experiment import ExperimentConfig, ExperimentResult
+from .metrics import HistorySummary, LatencyStats
+from .sweeps import ResponsePoint, run_sweep
+
+__all__ = [
+    "ShardedResult",
+    "shard_configs",
+    "collect_shard",
+    "merge_points",
+    "run_sharded",
+]
+
+
+def _group_seed(base_seed: int, group: int) -> int:
+    """Stable per-group seed: a function of the base seed and the group
+    index only (process- and platform-independent)."""
+    digest = hashlib.sha256(f"shard:{base_seed}:{group}".encode()).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+def shard_configs(base: ExperimentConfig, num_groups: int) -> List[ExperimentConfig]:
+    """Split *base* into per-group configs.
+
+    Clients are distributed round-robin (group sizes differ by at most
+    one); each group gets a seed derived from ``(base.seed, group)``.
+    ``num_groups`` is clamped to the client count so no group is empty.
+    """
+    if num_groups < 1:
+        raise ValueError("num_groups must be positive")
+    num_groups = min(num_groups, base.num_clients)
+    sizes = [
+        base.num_clients // num_groups + (1 if g < base.num_clients % num_groups else 0)
+        for g in range(num_groups)
+    ]
+    configs = []
+    for g, size in enumerate(sizes):
+        configs.append(
+            dataclasses.replace(
+                base,
+                num_clients=size,
+                seed=_group_seed(base.seed, g),
+                # topology is mutated by __post_init__; give each group
+                # its own copy so groups (and the base) stay independent
+                topology=dataclasses.replace(base.topology),
+            )
+        )
+    return configs
+
+
+def collect_shard(result: ExperimentResult) -> Dict[str, Any]:
+    """Sweep ``collect`` hook: raw samples and counters for exact merge.
+
+    Runs in the worker process; everything returned is JSON-serialisable
+    and sufficient to reconstruct the group's contribution to a merged
+    :class:`HistorySummary` without the (unpicklable) history itself.
+    """
+    history = result.history
+    hits = [op.hit for op in history.reads() if op.ok and op.hit is not None]
+    stats = result.deployment.topology.network.stats
+    return {
+        "read_ms": [op.latency for op in history.reads() if op.ok],
+        "write_ms": [op.latency for op in history.writes() if op.ok],
+        "hits_true": sum(1 for h in hits if h),
+        "hits_known": len(hits),
+        "failures": len(history.failures()),
+        "total_ops": len(history.ops),
+        "messages_by_kind": dict(stats.by_kind),
+        "events_processed": result.deployment.topology.sim.events_processed,
+    }
+
+
+@dataclass
+class ShardedResult:
+    """Merged outcome of one sharded scenario."""
+
+    config: ExperimentConfig
+    num_groups: int
+    summary: HistorySummary
+    messages_per_request: float
+    total_requests: int
+    #: max over groups — the scenario's critical-path simulated time
+    sim_time_ms: float
+    #: summed counters: per-kind message counts plus kernel totals
+    metrics: Dict[str, float] = field(default_factory=dict)
+    #: the per-group sweep points, in group order
+    points: List[ResponsePoint] = field(default_factory=list)
+
+
+def merge_points(base: ExperimentConfig, points: List[ResponsePoint]) -> ShardedResult:
+    """Exact deterministic merge of per-group points.
+
+    Latency statistics are recomputed from the concatenated raw samples
+    (identical to summarising the union history); counters are summed.
+    Group order is fixed by the plan, and every reduction used here is
+    order-independent anyway, so the result cannot depend on scheduling.
+    """
+    read_ms: List[float] = []
+    write_ms: List[float] = []
+    hits_true = hits_known = failures = total_ops = 0
+    protocol_messages = 0
+    total_requests = 0
+    sim_time_ms = 0.0
+    metrics: Dict[str, float] = {}
+    for point in points:
+        extras = point.extras
+        read_ms.extend(extras["read_ms"])
+        write_ms.extend(extras["write_ms"])
+        hits_true += extras["hits_true"]
+        hits_known += extras["hits_known"]
+        failures += extras["failures"]
+        total_ops += extras["total_ops"]
+        protocol_messages += round(point.messages_per_request * point.total_requests)
+        total_requests += point.total_requests
+        sim_time_ms = max(sim_time_ms, point.sim_time_ms)
+        for kind, count in extras["messages_by_kind"].items():
+            key = f"net.messages.{kind}"
+            metrics[key] = metrics.get(key, 0.0) + count
+        metrics["kernel.events_processed"] = (
+            metrics.get("kernel.events_processed", 0.0) + extras["events_processed"]
+        )
+    summary = HistorySummary(
+        reads=LatencyStats.from_samples(read_ms),
+        writes=LatencyStats.from_samples(write_ms),
+        overall=LatencyStats.from_samples(read_ms + write_ms),
+        read_hit_rate=(hits_true / hits_known) if hits_known else None,
+        failures=failures,
+        availability=1.0 - (failures / total_ops) if total_ops else 1.0,
+    )
+    return ShardedResult(
+        config=base,
+        num_groups=len(points),
+        summary=summary,
+        messages_per_request=(
+            protocol_messages / total_requests if total_requests else 0.0
+        ),
+        total_requests=total_requests,
+        sim_time_ms=sim_time_ms,
+        metrics={k: metrics[k] for k in sorted(metrics)},
+        points=points,
+    )
+
+
+def run_sharded(
+    base: ExperimentConfig,
+    *,
+    num_groups: int = 8,
+    workers: Optional[int] = None,
+    cache: bool = True,
+    cache_path: Optional[str] = None,
+) -> ShardedResult:
+    """Run *base* as ``num_groups`` independent group simulations on up
+    to *workers* processes and merge the results.
+
+    The merged summary is a pure function of ``(base, num_groups)``:
+    the worker count only changes wall-clock time.
+    """
+    configs = shard_configs(base, num_groups)
+    points = run_sweep(
+        configs,
+        collect=collect_shard,
+        workers=workers,
+        cache=cache,
+        cache_path=cache_path,
+    )
+    return merge_points(base, points)  # type: ignore[arg-type]

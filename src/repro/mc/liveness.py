@@ -145,9 +145,7 @@ class LivenessMonitor:
         queues — the normal drain cycle is then merely mid-flight, not
         stuck.
         """
-        entries = [(e[0], e[1], e[2]) for e in self.sim._ready]
-        entries += [(e[2], e[3], e[4]) for e in self.sim._queue]
-        for timer, fn, args in entries:
+        for timer, fn, args in self.sim.iter_pending():
             if timer is not None and getattr(timer, "cancelled", False):
                 continue
             if getattr(fn, "__name__", "") != "_deliver" or not args:

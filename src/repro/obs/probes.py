@@ -62,8 +62,8 @@ class KernelProbe:
     def _tick(self) -> None:
         self.samples += 1
         self._ready_depth.observe(float(len(self.sim._ready)))
-        self._timer_depth.observe(float(len(self.sim._queue)))
-        if self.sim._ready or self.sim._queue:
+        self._timer_depth.observe(float(self.sim.timer_depth))
+        if self.sim._ready or self.sim.timer_depth:
             self.sim.schedule(self.interval_ms, self._tick)
 
 

@@ -116,9 +116,9 @@ class Node:
         """
         if not self.alive:
             return None
-        message = Message(src=self.node_id, dst=dst, kind=kind,
-                          payload=payload or {}, reply_to=reply_to,
-                          span_id=span)
+        message = Message.acquire(src=self.node_id, dst=dst, kind=kind,
+                                  payload=payload or {}, reply_to=reply_to,
+                                  span_id=span)
         self.net.send(message)
         return message
 
@@ -179,7 +179,9 @@ class Node:
                 if self.alive and self._crash_count == epoch:
                     self._dispatch(message)
 
-            self.sim.schedule(self._slow_ms, delayed)
+            # Never cancelled (the epoch guard suppresses stale ones), so
+            # no Timer handle is needed.
+            self.sim.call_later(self._slow_ms, delayed)
             return
         self._dispatch(message)
 

@@ -1,0 +1,206 @@
+"""Batched network transmission and message pooling.
+
+``Network.send_many`` must be byte-identical to a loop of
+``Network.send`` — same delivery times and order, same stats, same RNG
+draw sequences — while batching the kernel insertions.  Message pooling
+must never recycle a message something still references.
+"""
+
+import pytest
+
+from repro.sim import (
+    ConstantDelay,
+    JitteredDelay,
+    MatrixDelay,
+    Message,
+    Network,
+    Node,
+    Simulator,
+)
+from repro.sim import messages as messages_mod
+
+
+class Recorder(Node):
+    """Logs (time, n) for every data message; answers pings."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.received = []
+
+    def on_data(self, msg):
+        self.received.append((self.sim.now, msg["n"]))
+
+    def on_ping(self, msg):
+        self.reply(msg, payload={"n": msg["n"]})
+
+
+class Keeper(Node):
+    """Retains every delivered message object."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.held = []
+
+    def on_keep(self, msg):
+        self.held.append(msg)
+
+
+@pytest.fixture(autouse=True)
+def clean_message_pool():
+    """Isolate each test from pool contents left by earlier tests."""
+    messages_mod._pool.clear()
+    yield
+    messages_mod._pool.clear()
+
+
+def build(seed, delay_model, **net_kwargs):
+    sim = Simulator(seed=seed)
+    net = Network(sim, delay_model, **net_kwargs)
+    nodes = {name: Recorder(sim, net, name) for name in ("a", "b", "c")}
+    return sim, net, nodes
+
+
+def drain(net, specs, batched):
+    """Feed (dst, n) specs into the network, batched or one at a time."""
+    msgs = [Message(src="a", dst=dst, kind="data", payload={"n": n})
+            for dst, n in specs]
+    if batched:
+        net.send_many(msgs)
+    else:
+        for m in msgs:
+            net.send(m)
+
+
+def run_both(specs, delay_factory, *, seed=7, faults=None, **net_kwargs):
+    """Run the same spec list via send-loop and send_many; return both."""
+    outcomes = []
+    for batched in (False, True):
+        sim, net, nodes = build(seed, delay_factory(), **net_kwargs)
+        if faults is not None:
+            faults(net)
+        drain(net, specs, batched)
+        sim.run()
+        outcomes.append(
+            {
+                "received": {name: node.received for name, node in nodes.items()},
+                "dropped": net.stats.dropped,
+                "duplicated": net.stats.duplicated,
+                "unknown": net.stats.unknown_destination,
+                "by_kind": dict(net.stats.by_kind),
+                # One draw per stream proves the batch consumed exactly
+                # the same number of randoms from each purpose-split RNG.
+                "rng": (
+                    net._delay_rng.random(),
+                    net._loss_rng.random(),
+                    net._dup_rng.random(),
+                ),
+            }
+        )
+    return outcomes
+
+
+class TestSendManyEquivalence:
+    def test_plain_broadcast_matches_send_loop(self):
+        specs = [("b", i) if i % 2 else ("c", i) for i in range(20)]
+        loop, batch = run_both(specs, lambda: ConstantDelay(5.0))
+        assert batch == loop
+        # Same-instant deliveries keep submission order.
+        assert batch["received"]["b"] == [(5.0, i) for i in range(1, 20, 2)]
+
+    def test_unknown_and_partitioned_destinations(self):
+        specs = [("b", 1), ("ghost", 2), ("c", 3), ("b", 4), ("ghost", 5)]
+
+        def faults(net):
+            net.block("a", "c")
+
+        loop, batch = run_both(specs, lambda: ConstantDelay(2.0), faults=faults)
+        assert batch == loop
+        assert batch["unknown"] == 2
+        assert batch["dropped"] == 3  # 2 unknown + 1 partitioned
+        assert batch["received"]["c"] == []
+
+    def test_loss_and_duplication_windows(self):
+        specs = [("b", i) for i in range(60)]
+
+        def faults(net):
+            net.add_loss_window(0.3)
+            net.add_duplication_window(0.3)
+
+        loop, batch = run_both(
+            specs,
+            lambda: JitteredDelay(ConstantDelay(5.0), 10.0),
+            faults=faults,
+        )
+        assert batch == loop
+        # The seed must actually exercise both fault lanes, or this test
+        # proves nothing about flush ordering / draw interleaving.
+        assert batch["dropped"] > 0
+        assert batch["duplicated"] > 0
+        assert len(batch["received"]["b"]) > 60 - batch["dropped"]
+
+    def test_zero_delay_ready_lane_mixed_with_wheel(self):
+        # dst "b" takes the zero-delay ready lane, dst "c" the wheel;
+        # a batch mixing both must split without reordering either lane.
+        model = MatrixDelay({}, default_ms=4.0)
+        model.set("a", "b", 0.0)
+        specs = [("b", 1), ("c", 2), ("b", 3), ("c", 4), ("b", 5)]
+        loop, batch = run_both(specs, lambda: model)
+        assert batch == loop
+        assert batch["received"]["b"] == [(0.0, 1), (0.0, 3), (0.0, 5)]
+        assert batch["received"]["c"] == [(4.0, 2), (4.0, 4)]
+
+    def test_empty_batch_is_a_noop(self):
+        sim, net, nodes = build(1, ConstantDelay(1.0))
+        net.send_many([])
+        sim.run()
+        assert net.stats.total_messages == 0
+        assert all(node.received == [] for node in nodes.values())
+
+
+class TestMessagePooling:
+    def test_delivered_message_is_recycled_with_cleared_payload(self):
+        sim, net, nodes = build(3, ConstantDelay(1.0))
+        nodes["a"].send("b", "data", {"n": 1})
+        sim.run()
+        assert len(messages_mod._pool) == 1
+        assert messages_mod._pool[0].payload == {}
+
+    def test_receiver_held_message_is_never_recycled(self):
+        sim = Simulator(seed=3)
+        net = Network(sim, ConstantDelay(1.0))
+        a = Recorder(sim, net, "a")
+        k = Keeper(sim, net, "k")
+        a.send("k", "keep", {"n": 42})
+        sim.run()
+        assert messages_mod._pool == []
+        assert k.held[0].payload == {"n": 42}
+
+    def test_rpc_reply_held_by_future_is_not_recycled(self):
+        sim, net, nodes = build(3, ConstantDelay(1.0))
+        fut = nodes["a"].call("b", "ping", {"n": 7}, timeout=100.0)
+        sim.run()
+        reply = fut.value
+        assert reply["n"] == 7
+        # The request was dispatched and released; the reply lives on in
+        # the future and must not be in the pool.
+        assert reply not in messages_mod._pool
+
+    def test_acquire_reuses_released_instance_with_fresh_identity(self):
+        m = Message.acquire(src="a", dst="b", kind="data", payload={"n": 1})
+        old_id = m.msg_id
+        m.send_time = 99.0
+        m.release()
+        m2 = Message.acquire(src="c", dst="d", kind="inval",
+                             payload={"k": "x"}, reply_to=5)
+        assert m2 is m
+        assert m2.msg_id > old_id
+        assert m2.payload == {"k": "x"}
+        assert (m2.src, m2.dst, m2.kind, m2.reply_to) == ("c", "d", "inval", 5)
+        assert m2.send_time == 0.0
+
+    def test_batch_delivery_recycles_unreferenced_messages(self):
+        sim, net, nodes = build(3, ConstantDelay(2.0))
+        drain(net, [("b", i) for i in range(10)], batched=True)
+        sim.run()
+        assert nodes["b"].received == [(2.0, i) for i in range(10)]
+        assert len(messages_mod._pool) == 10
