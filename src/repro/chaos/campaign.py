@@ -31,11 +31,12 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
-from ..consistency.history import History
+from ..consistency.history import READ, History
 from ..consistency.regular import check_regular, staleness_report
 from ..core.config import DqvlConfig
 from ..edge.deployments import PROTOCOL_DEPLOYERS, Deployment
 from ..edge.topology import EdgeTopology, EdgeTopologyConfig
+from ..resilience import ResilienceConfig, derive_qrpc_timeouts
 from ..sim.clock import DriftingClock
 from ..sim.kernel import Simulator
 from ..workload.generators import BernoulliOpStream, ZipfKeyChooser
@@ -80,6 +81,22 @@ class ChaosRunConfig:
     #: JSONL and Chrome-trace exports of the run's causal span tree,
     #: with the fault schedule rendered as annotation windows
     trace: bool = False
+    #: how clients reach storage: ``direct`` places a service client on
+    #: the app host (the historical campaign setup); ``frontend`` drives
+    #: Figure 1's full path through the edge front ends — required for
+    #: degraded-mode serving, which lives in the front end
+    mode: str = "direct"
+    #: enable the adaptive resilience layer (failure detectors, hedged
+    #: QRPCs, circuit-breaker degraded reads / shed writes, post-crash
+    #: catch-up); implies front-end semantics for degradation, so pair
+    #: it with ``mode="frontend"`` for a meaningful comparison
+    resilience: bool = False
+    #: QRPC retransmission schedule override; ``None`` derives both from
+    #: the topology's delay distribution (jitter-aware worst-case RTT)
+    qrpc_initial_timeout_ms: Optional[float] = None
+    qrpc_max_timeout_ms: Optional[float] = None
+    #: advertised bound on a degraded read's age of information
+    degraded_max_staleness_ms: float = 8_000.0
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "nemeses", tuple(self.nemeses))
@@ -88,6 +105,31 @@ class ChaosRunConfig:
                 f"unknown protocol {self.protocol!r}; "
                 f"choose from {sorted(PROTOCOL_DEPLOYERS)}"
             )
+        if self.mode not in ("direct", "frontend"):
+            raise ValueError(f"mode must be 'direct' or 'frontend', not {self.mode!r}")
+        if self.resilience and self.protocol not in ("dqvl", "basic_dq"):
+            raise ValueError(
+                "the resilience layer is wired for the dual-quorum protocols "
+                f"(dqvl, basic_dq), not {self.protocol!r}"
+            )
+        if (self.qrpc_initial_timeout_ms is not None
+                or self.qrpc_max_timeout_ms is not None):
+            if self.protocol not in ("dqvl", "basic_dq"):
+                raise ValueError(
+                    "qrpc timeout overrides only reach the dual-quorum "
+                    f"deployments, not {self.protocol!r}"
+                )
+        if (self.qrpc_initial_timeout_ms is not None
+                and self.qrpc_initial_timeout_ms <= 0):
+            raise ValueError("qrpc_initial_timeout_ms must be positive")
+        if self.qrpc_max_timeout_ms is not None:
+            floor = self.qrpc_initial_timeout_ms or 0.0
+            if self.qrpc_max_timeout_ms < floor:
+                raise ValueError(
+                    "qrpc_max_timeout_ms must be >= qrpc_initial_timeout_ms"
+                )
+        if self.degraded_max_staleness_ms <= 0:
+            raise ValueError("degraded_max_staleness_ms must be positive")
         for name in self.nemeses:
             if name not in NEMESES:
                 raise ValueError(
@@ -141,16 +183,30 @@ def _build_deployment(config: ChaosRunConfig, sim: Simulator):
     )
     deployer = PROTOCOL_DEPLOYERS[config.protocol]
     if config.protocol in ("dqvl", "basic_dq"):
+        initial, cap = derive_qrpc_timeouts(topology.config)
+        if config.qrpc_initial_timeout_ms is not None:
+            initial = config.qrpc_initial_timeout_ms
+        if config.qrpc_max_timeout_ms is not None:
+            cap = config.qrpc_max_timeout_ms
+        cap = max(cap, initial)
         dq_config = DqvlConfig(
             lease_length_ms=config.lease_length_ms,
             max_drift=config.max_drift,
             proactive_renewal=(config.protocol == "dqvl"),
             renewal_margin_ms=min(1_000.0, 0.5 * config.lease_length_ms),
             inval_initial_timeout_ms=200.0,
+            qrpc_initial_timeout_ms=initial,
+            qrpc_max_timeout_ms=cap,
         )
+        resilience = None
+        if config.resilience:
+            resilience = ResilienceConfig(
+                degraded_max_staleness_ms=config.degraded_max_staleness_ms,
+            )
         deployment = deployer(
             topology, config=dq_config,
             client_max_attempts=config.client_max_attempts,
+            resilience=resilience,
         )
     else:
         deployment = deployer(
@@ -190,6 +246,117 @@ def _apply_drift(config: ChaosRunConfig, sim: Simulator,
             )
 
 
+def _count_ops(ops) -> Dict[str, int]:
+    """Classify operations for the availability report."""
+    counts = {
+        "reads_healthy": 0, "reads_degraded": 0, "reads_failed": 0,
+        "writes_ok": 0, "writes_failed": 0,
+    }
+    for op in ops:
+        if op.kind == READ:
+            if not op.ok:
+                counts["reads_failed"] += 1
+            elif op.degraded:
+                counts["reads_degraded"] += 1
+            else:
+                counts["reads_healthy"] += 1
+        elif op.ok:
+            counts["writes_ok"] += 1
+        else:
+            counts["writes_failed"] += 1
+    return counts
+
+
+def _availability_report(
+    history: History, deployment: Deployment, schedule: FaultSchedule
+) -> Dict[str, Any]:
+    """Availability under fault: who got served, how, and how stale.
+
+    Healthy and degraded reads are counted separately — a degraded read
+    is *successful* for availability (the client got a value with an
+    explicit staleness label) but is excluded from the consistency
+    checkers, so the two numbers must never be conflated.
+    """
+    report: Dict[str, Any] = dict(_count_ops(history))
+    report["reads_successful"] = (
+        report["reads_healthy"] + report["reads_degraded"]
+    )
+    ages = [
+        op.staleness_ms for op in history.reads()
+        if op.ok and op.degraded and op.staleness_ms is not None
+    ]
+    report["degraded_staleness_ms"] = {
+        "count": len(ages),
+        "max": max(ages) if ages else 0.0,
+        "mean": sum(ages) / len(ages) if ages else 0.0,
+    }
+    fe_counts = {
+        "requests_served": 0, "requests_failed": 0,
+        "degraded_reads": 0, "writes_shed": 0, "breaker_trips": 0,
+    }
+    for fe in deployment.front_ends:
+        fe_counts["requests_served"] += fe.requests_served
+        fe_counts["requests_failed"] += fe.requests_failed
+        fe_counts["degraded_reads"] += fe.degraded_reads
+        fe_counts["writes_shed"] += fe.writes_shed
+        for breaker in (fe._read_breaker, fe._write_breaker):
+            if breaker is not None:
+                fe_counts["breaker_trips"] += breaker.trips
+    report["front_ends"] = fe_counts
+    res_counts = {
+        "suspicions": 0, "hedges_sent": 0,
+        "adaptive_rounds": 0, "catchups_started": 0,
+    }
+    holders = list(_server_nodes(deployment)) + [
+        fe.store_client for fe in deployment.front_ends
+    ]
+    for holder in holders:
+        res_counts["catchups_started"] += getattr(holder, "catchups_started", 0)
+        res = getattr(holder, "resilience", None)
+        if res is None:
+            continue
+        res_counts["suspicions"] += res.detector.suspicions
+        res_counts["hedges_sent"] += res.hedges_sent
+        res_counts["adaptive_rounds"] += res.adaptive_rounds
+    report["resilience"] = res_counts
+    timeline: List[Dict[str, Any]] = []
+    for fault in schedule.runtime_faults():
+        in_window = [
+            op for op in history if fault.start <= op.end <= fault.end
+        ]
+        entry: Dict[str, Any] = {
+            "fault": fault.describe(),
+            "start": fault.start,
+            "end": fault.end,
+        }
+        entry.update(_count_ops(in_window))
+        timeline.append(entry)
+    report["timeline"] = timeline
+    return report
+
+
+def _check_degraded_staleness(history: History) -> List[Dict[str, Any]]:
+    """Every degraded read must honour its advertised staleness bound."""
+    violations: List[Dict[str, Any]] = []
+    for op in history.reads():
+        if not (op.ok and op.degraded):
+            continue
+        if (op.staleness_ms is None or op.staleness_bound_ms is None
+                or op.staleness_ms > op.staleness_bound_ms):
+            violations.append({
+                "type": "degraded_staleness",
+                "key": op.key,
+                "node": op.client,
+                "time": op.end,
+                "detail": (
+                    f"degraded read of {op.key!r} served with staleness "
+                    f"{op.staleness_ms} ms against advertised bound "
+                    f"{op.staleness_bound_ms} ms"
+                ),
+            })
+    return violations
+
+
 def run_chaos(
     config: ChaosRunConfig, schedule: Optional[FaultSchedule] = None
 ) -> ChaosRunResult:
@@ -225,8 +392,16 @@ def run_chaos(
     history = History()
     keys = [f"k{i}" for i in range(config.num_keys)]
     procs = []
+    client_ids: List[str] = []
     for c in range(config.num_clients):
-        client = deployment.direct_client(c)
+        if config.mode == "frontend":
+            # Figure 1's full path: app client → front end → service
+            # client.  Locality 1.0 keeps the redirection deterministic
+            # (the policy short-circuits without an rng draw).
+            client = deployment.app_client(c, locality=1.0)
+        else:
+            client = deployment.direct_client(c)
+        client_ids.append(client.node_id)
         # Workload streams get their own seeded rngs (not sim.rng) so the
         # operation sequence is a function of the config alone — replaying
         # a shrunk schedule reproduces the exact same client behaviour.
@@ -249,7 +424,7 @@ def run_chaos(
         if not proc.done:
             violations.append({
                 "type": "liveness",
-                "node": f"appsc{c}",
+                "node": client_ids[c],
                 "detail": (
                     f"client {c}'s workload did not finish by "
                     f"{config.time_limit_ms:.0f} ms (stuck operation)"
@@ -262,7 +437,9 @@ def run_chaos(
         "messages_dropped": topology.network.stats.dropped,
         "invariant_samples": monitor.samples_taken,
         "sim_time_ms": sim.now,
+        "availability": _availability_report(history, deployment, schedule),
     }
+    violations.extend(_check_degraded_staleness(history))
     if config.protocol in EVENTUALLY_CONSISTENT:
         stats["staleness"] = dataclasses.asdict(staleness_report(history))
     else:

@@ -221,6 +221,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="export a span timeline per run (see --trace-dir)")
     chaos.add_argument("--trace-dir", default="results/chaos_traces",
                        help="where --trace writes JSONL + Chrome-trace files")
+    chaos.add_argument("--frontend", action="store_true",
+                       help="drive clients through the edge front ends "
+                            "(Figure 1's full path) instead of direct "
+                            "service clients")
+    chaos.add_argument("--resilience", action="store_true",
+                       help="enable the adaptive resilience layer (failure "
+                            "detectors, hedged QRPCs, degraded reads, shed "
+                            "writes, post-crash catch-up); implies --frontend")
 
     explore = sub.add_parser(
         "explore",
@@ -510,10 +518,12 @@ def _cmd_chaos(args) -> int:
         else [n for n in args.nemeses.split(",") if n]
     )
     scenario = _scenario_from_args(args)
+    mode = "frontend" if (args.frontend or args.resilience) else "direct"
     configs = [
         dataclasses.replace(
             scenario, protocol=protocol, seed=args.seed_base + s
-        ).to_chaos(nemeses=nemeses, trace=args.trace)
+        ).to_chaos(nemeses=nemeses, trace=args.trace,
+                   mode=mode, resilience=args.resilience)
         for protocol in protocols
         for s in range(args.seeds)
     ]
@@ -557,16 +567,21 @@ def _cmd_chaos(args) -> int:
         rows = []
         for p in points:
             types = ",".join(sorted({v["type"] for v in p.violations})) or "-"
+            avail = p.stats.get("availability", {})
             rows.append([
                 p.config.protocol, p.config.seed,
                 p.stats["ops_recorded"], p.stats["ops_failed"],
+                avail.get("reads_degraded", 0),
                 len(p.violations), types,
             ])
         title = f"chaos campaign: nemeses {', '.join(nemeses)}"
         if args.weaken:
             title += f" (weakened: {args.weaken})"
+        if args.resilience:
+            title += " [resilience]"
         print(format_table(
-            ["protocol", "seed", "ops", "rejected", "violations", "types"],
+            ["protocol", "seed", "ops", "rejected", "degraded",
+             "violations", "types"],
             rows, title=title,
         ))
         print(f"{len(points) - len(failing)}/{len(points)} runs clean")

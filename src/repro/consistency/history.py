@@ -35,6 +35,13 @@ class Op:
     hit: Optional[bool] = None
     #: replica that served the operation, when meaningful
     server: Optional[str] = None
+    #: degraded read: a front end served a remembered local value while
+    #: its storage path was unreachable.  Regularity is not claimed, so
+    #: the checkers skip these; the chaos availability report counts
+    #: them separately and checks staleness_ms <= staleness_bound_ms.
+    degraded: bool = False
+    staleness_ms: Optional[float] = None
+    staleness_bound_ms: Optional[float] = None
 
     @property
     def latency(self) -> float:
@@ -72,6 +79,9 @@ class History:
             ok=ok,
             hit=result.hit,
             server=result.server,
+            degraded=getattr(result, "degraded", False),
+            staleness_ms=getattr(result, "staleness_ms", None),
+            staleness_bound_ms=getattr(result, "staleness_bound_ms", None),
         )
         self.ops.append(op)
         return op

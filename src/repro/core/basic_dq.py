@@ -214,6 +214,8 @@ class BasicOqsNode(Node):
         self._clock_of: Dict[Tuple[str, str], LogicalClock] = {}
         self._valid: Dict[Tuple[str, str], bool] = {}
         self._values: Dict[str, Tuple[Any, LogicalClock]] = {}
+        #: optional NodeResilience; attached by the deployment
+        self.resilience = None
         self.read_hits = 0
         self.read_misses = 0
         self.renewals_sent = 0
@@ -296,6 +298,7 @@ class BasicOqsNode(Node):
             backoff=self.config.qrpc_backoff,
             max_timeout_ms=self.config.qrpc_max_timeout_ms,
             max_attempts=self.config.client_max_attempts,
+            resilience=self.resilience,
         )
         original_handler = call._make_reply_handler
 

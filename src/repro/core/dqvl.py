@@ -467,12 +467,19 @@ class DqvlOqsNode(Node):
         self._keeper_running: Set[str] = set()
         #: in-flight validation per object (single-flight coalescing)
         self._validating: Dict[str, Any] = {}
+        #: optional NodeResilience (adaptive timeouts, hedging, suspect
+        #: avoidance, post-crash catch-up); attached by the deployment
+        self.resilience = None
+        #: while True, cached values are never served as hits: the
+        #: post-crash catch-up is revalidating them against the IQS
+        self._catching_up = False
         # statistics
         self.read_hits = 0
         self.read_misses = 0
         self.renewals_sent = 0
         self.invals_received = 0
         self.validations_coalesced = 0
+        self.catchups_started = 0
 
     # -- local validity ------------------------------------------------------------
 
@@ -504,7 +511,7 @@ class DqvlOqsNode(Node):
         obj: str = msg["obj"]
         obs_tracer = self.obs_tracer
         self._note_interest(obj)
-        if self.is_local_valid(obj):
+        if not self._catching_up and self.is_local_valid(obj):
             self.read_hits += 1
             value, lc = self.local_value(obj)
             self.tracer.emit(self.node_id, "read_hit", obj=obj, lc=str(lc))
@@ -597,6 +604,7 @@ class DqvlOqsNode(Node):
             max_attempts=self.config.client_max_attempts,
             sample_targets=sticky_targets,
             span=span,
+            resilience=self.resilience,
         )
         # Renewal replies mutate node state; QuorumCall only gathers the
         # messages, so interpose handlers through the reply payloads.
@@ -667,12 +675,57 @@ class DqvlOqsNode(Node):
         """With ``volatile_oqs_recovery``, a restart loses the cache and
         every lease; the node rebuilds by missing and revalidating.
         Losing state is always safe — the protocol's hazard is serving
-        *stale* data, never serving none."""
+        *stale* data, never serving none.
+
+        With resilience attached (and durable state), recovery also runs
+        an anti-entropy catch-up: every cached object is revalidated
+        against an IQS read quorum — pulling the invalidations and
+        delayed-invalidation queues that could not be delivered while
+        the node was down — before the cache may serve hits again.
+        """
+        self._validating.clear()
         if self.config.volatile_oqs_recovery:
             self.view = OqsLeaseView(max_drift=self.config.max_drift)
             self._values.clear()
             self._volume_interest.clear()
             self._keeper_running.clear()
+            return
+        res = self.resilience
+        if res is not None and res.config.catchup and self._values:
+            self._catching_up = True
+            self.catchups_started += 1
+            self.tracer.emit(self.node_id, "catchup_start",
+                             objects=len(self._values))
+            self.spawn(self._catch_up(), name=f"{self.node_id}:catchup")
+
+    def _catch_up(self):
+        """Post-crash anti-entropy resync: revalidate every cached object
+        from an IQS read quorum before local hits resume.
+
+        The ``_catching_up`` flag turns every read into a miss meanwhile
+        (each miss revalidates its own object on demand, so reads stay
+        correct *and* live during the sweep — they just pay the renewal
+        round trip).  Retries survive quorum outages; a second crash
+        abandons the sweep, and the next recovery starts a fresh one.
+        """
+        epoch = self._crash_count
+        retry = self.resilience.config.catchup_retry_ms
+        try:
+            for obj in sorted(self._values):
+                while self.alive and self._crash_count == epoch:
+                    try:
+                        yield from self.ensure_validated(obj)
+                        break
+                    except Exception:
+                        # Quorum unreachable (QrpcError or a crashed IQS
+                        # majority): back off and retry the same object.
+                        yield self.sim.sleep(retry)
+                if self._crash_count != epoch:
+                    return
+        finally:
+            if self._crash_count == epoch:
+                self._catching_up = False
+                self.tracer.emit(self.node_id, "catchup_done")
 
     # -- IQS-facing handlers ----------------------------------------------------------------
 
@@ -788,6 +841,7 @@ class DqvlOqsNode(Node):
             max_attempts=3,
             sample_targets=sticky_targets,
             span=span,
+            resilience=self.resilience,
         )
         original_handler = call._make_reply_handler
 
@@ -839,6 +893,8 @@ class DqvlClient(Node):
         #: front end's co-located (or nearest) edge replica.
         self.prefer_oqs = prefer_oqs
         self.prefer_iqs = prefer_iqs
+        #: optional NodeResilience; attached by the deployment
+        self.resilience = None
         self._lc_seen = ZERO_LC
 
     def _qrpc_config(self, prefer: Optional[str]) -> Dict[str, Any]:
@@ -848,6 +904,7 @@ class DqvlClient(Node):
             "max_timeout_ms": self.config.qrpc_max_timeout_ms,
             "max_attempts": self.config.client_max_attempts,
             "prefer": prefer,
+            "resilience": self.resilience,
         }
 
     def read(self, obj: str):

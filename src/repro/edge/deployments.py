@@ -29,11 +29,13 @@ from ..protocols.primary_backup import build_primary_backup_cluster
 from ..protocols.rowa import build_rowa_cluster
 from ..protocols.rowa_async import build_rowa_async_cluster
 from ..quorum.system import QuorumSystem
+from ..resilience import NodeResilience, ResilienceConfig, derive_qrpc_timeouts
 from .frontend import AppClient, FrontEnd, LocalityRedirection
 from .topology import EdgeTopology
 
 __all__ = [
     "Deployment",
+    "default_qrpc",
     "deploy_dqvl",
     "deploy_basic_dq",
     "deploy_majority",
@@ -43,13 +45,17 @@ __all__ = [
     "PROTOCOL_DEPLOYERS",
 ]
 
-#: QRPC retransmission defaults for the edge topology: the first timeout
-#: comfortably exceeds the worst round trip (2 x 86 ms).
-DEFAULT_QRPC = {
-    "initial_timeout_ms": 400.0,
-    "backoff": 2.0,
-    "max_timeout_ms": 6400.0,
-}
+
+def default_qrpc(topology: EdgeTopology) -> Dict[str, float]:
+    """QRPC retransmission schedule derived from the topology's delay
+    distribution (the historical fixed 400/6400 ms was wrong for both
+    LAN-only and degraded-WAN topologies)."""
+    initial, cap = derive_qrpc_timeouts(topology.config)
+    return {
+        "initial_timeout_ms": initial,
+        "backoff": 2.0,
+        "max_timeout_ms": cap,
+    }
 
 
 @dataclass
@@ -83,6 +89,8 @@ class Deployment:
     pref_attr: Optional[str] = None
     #: replica node id on each edge (for preference switching)
     replica_ids: List[str] = field(default_factory=list)
+    #: resilience layer attached at deploy time (None: disabled)
+    resilience: Optional[ResilienceConfig] = None
     _app_counter: int = 0
 
     def direct_client(self, client_index: int):
@@ -127,9 +135,13 @@ class Deployment:
         )
         self._app_counter += 1
         node_id = f"app{client_index}"
+        budget = (
+            self.resilience.shed_retry_budget if self.resilience is not None else 3
+        )
         app = AppClient(
             topo.sim, topo.network, node_id, redirection,
             request_timeout_ms=request_timeout_ms,
+            shed_retry_budget=budget,
         )
         topo.place_on_client(node_id, client_index)
         return app
@@ -143,12 +155,14 @@ class Deployment:
 
 
 def _make_front_ends(
-    topology: EdgeTopology, make_store_client: Callable[[int], Any]
+    topology: EdgeTopology, make_store_client: Callable[[int], Any],
+    resilience: Optional[ResilienceConfig] = None,
 ) -> List[FrontEnd]:
     front_ends = []
     for k in range(topology.config.num_edges):
         store_client = make_store_client(k)
-        fe = FrontEnd(topology.sim, topology.network, f"fe{k}", store_client)
+        fe = FrontEnd(topology.sim, topology.network, f"fe{k}", store_client,
+                      resilience=resilience)
         topology.place_on_edge(fe.node_id, k)
         front_ends.append(fe)
     return front_ends
@@ -169,13 +183,24 @@ def deploy_dqvl(
     iqs_system: Optional[QuorumSystem] = None,
     oqs_system: Optional[QuorumSystem] = None,
     client_max_attempts: Optional[int] = None,
+    resilience: Optional[ResilienceConfig] = None,
 ) -> Deployment:
-    """Deploy DQVL: OQS everywhere, IQS on the first *num_iqs* edges."""
+    """Deploy DQVL: OQS everywhere, IQS on the first *num_iqs* edges.
+
+    With *resilience* set, every OQS node and service client gets a
+    :class:`NodeResilience` (failure detector, adaptive timeouts,
+    hedging) and every front end a circuit breaker with degraded-read /
+    shed-write behaviour.
+    """
     n = topology.config.num_edges
     num_iqs = n if num_iqs is None else num_iqs
     if not 1 <= num_iqs <= n:
         raise ValueError(f"num_iqs must be in [1, {n}]")
-    config = config or DqvlConfig(proactive_renewal=True)
+    if config is None:
+        initial, cap = derive_qrpc_timeouts(topology.config)
+        config = DqvlConfig(proactive_renewal=True,
+                            qrpc_initial_timeout_ms=initial,
+                            qrpc_max_timeout_ms=cap)
     if client_max_attempts is not None:
         config.client_max_attempts = client_max_attempts
     iqs_ids = [f"iqs{k}" for k in range(num_iqs)]
@@ -188,6 +213,18 @@ def deploy_dqvl(
         topology.place_on_edge(node_id, k)
     for k, node_id in enumerate(oqs_ids):
         topology.place_on_edge(node_id, k)
+    if resilience is not None:
+        for node in cluster.oqs_nodes:
+            node.resilience = NodeResilience(
+                topology.sim, node.node_id, resilience
+            )
+
+    def attach_resilience(client):
+        if resilience is not None:
+            client.resilience = NodeResilience(
+                topology.sim, client.node_id, resilience
+            )
+        return client
 
     def make_store_client(k: int):
         client = cluster.client(
@@ -196,20 +233,21 @@ def deploy_dqvl(
             prefer_iqs=f"iqs{k}" if k < num_iqs else None,
         )
         topology.place_on_edge(client.node_id, k)
-        return client
+        return attach_resilience(client)
 
-    front_ends = _make_front_ends(topology, make_store_client)
+    front_ends = _make_front_ends(topology, make_store_client, resilience)
 
     def store_client_factory(node_id: str, prefer_edge: Optional[int]):
-        return cluster.client(
+        return attach_resilience(cluster.client(
             node_id,
             prefer_oqs=f"oqs{prefer_edge}" if prefer_edge is not None else None,
-        )
+        ))
 
     return Deployment(
         "dqvl", topology, front_ends, cluster, list(_DQ_KINDS),
         _store_client_factory=store_client_factory,
         pref_attr="prefer_oqs", replica_ids=list(oqs_ids),
+        resilience=resilience,
     )
 
 
@@ -218,11 +256,15 @@ def deploy_basic_dq(
     num_iqs: Optional[int] = None,
     config: Optional[DqvlConfig] = None,
     client_max_attempts: Optional[int] = None,
+    resilience: Optional[ResilienceConfig] = None,
 ) -> Deployment:
     """Deploy the lease-free basic dual-quorum protocol (Section 3.1)."""
     n = topology.config.num_edges
     num_iqs = n if num_iqs is None else num_iqs
-    config = config or DqvlConfig()
+    if config is None:
+        initial, cap = derive_qrpc_timeouts(topology.config)
+        config = DqvlConfig(qrpc_initial_timeout_ms=initial,
+                            qrpc_max_timeout_ms=cap)
     if client_max_attempts is not None:
         config.client_max_attempts = client_max_attempts
     iqs_ids = [f"iqs{k}" for k in range(num_iqs)]
@@ -234,6 +276,18 @@ def deploy_basic_dq(
         topology.place_on_edge(node_id, k)
     for k, node_id in enumerate(oqs_ids):
         topology.place_on_edge(node_id, k)
+    if resilience is not None:
+        for node in cluster.oqs_nodes:
+            node.resilience = NodeResilience(
+                topology.sim, node.node_id, resilience
+            )
+
+    def attach_resilience(client):
+        if resilience is not None:
+            client.resilience = NodeResilience(
+                topology.sim, client.node_id, resilience
+            )
+        return client
 
     def make_store_client(k: int):
         client = cluster.client(
@@ -242,20 +296,21 @@ def deploy_basic_dq(
             prefer_iqs=f"iqs{k}" if k < num_iqs else None,
         )
         topology.place_on_edge(client.node_id, k)
-        return client
+        return attach_resilience(client)
 
-    front_ends = _make_front_ends(topology, make_store_client)
+    front_ends = _make_front_ends(topology, make_store_client, resilience)
 
     def store_client_factory(node_id: str, prefer_edge: Optional[int]):
-        return cluster.client(
+        return attach_resilience(cluster.client(
             node_id,
             prefer_oqs=f"oqs{prefer_edge}" if prefer_edge is not None else None,
-        )
+        ))
 
     return Deployment(
         "basic_dq", topology, front_ends, cluster, list(_DQ_KINDS),
         _store_client_factory=store_client_factory,
         pref_attr="prefer_oqs", replica_ids=list(oqs_ids),
+        resilience=resilience,
     )
 
 
@@ -267,7 +322,7 @@ def deploy_majority(
     """Deploy a majority-quorum register, one replica per edge server."""
     n = topology.config.num_edges
     server_ids = [f"srv{k}" for k in range(n)]
-    qrpc_config = dict(DEFAULT_QRPC)
+    qrpc_config = default_qrpc(topology)
     if client_max_attempts is not None:
         qrpc_config["max_attempts"] = client_max_attempts
     cluster = build_majority_cluster(
@@ -337,7 +392,7 @@ def deploy_rowa(
     """Deploy synchronous ROWA, one replica per edge server."""
     n = topology.config.num_edges
     server_ids = [f"srv{k}" for k in range(n)]
-    qrpc_config = dict(DEFAULT_QRPC)
+    qrpc_config = default_qrpc(topology)
     if client_max_attempts is not None:
         qrpc_config["max_attempts"] = client_max_attempts
     cluster = build_rowa_cluster(

@@ -15,15 +15,22 @@ exactly as the system model requires.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from ..resilience import CircuitBreaker, ResilienceConfig
 from ..sim.kernel import Simulator
 from ..sim.messages import Message
 from ..sim.network import Network
 from ..sim.node import Node, RpcTimeout
-from ..types import ZERO_LC, ReadResult, WriteResult
+from ..types import LogicalClock, ZERO_LC, ReadResult, WriteResult
 
 __all__ = ["FrontEnd", "AppClient", "RedirectionPolicy", "LocalityRedirection", "OperationFailed"]
+
+#: age-of-information bucket bounds (ms) for the degraded-read histogram
+STALENESS_BUCKETS_MS = (
+    50.0, 100.0, 250.0, 500.0, 1_000.0, 2_000.0,
+    4_000.0, 8_000.0, 16_000.0, 32_000.0,
+)
 
 
 class OperationFailed(Exception):
@@ -46,21 +53,104 @@ class FrontEnd(Node):
     an ``error`` field in the reply, which :class:`AppClient` converts
     into :class:`OperationFailed` — the "rejected request" of the
     paper's availability definition.
+
+    With a :class:`~repro.resilience.ResilienceConfig` attached, the
+    front end degrades gracefully instead of failing hard:
+
+    * reads behind an open circuit breaker (or whose storage attempt
+      just failed) are served from the front end's *last-known* value —
+      a counted, labeled **degraded read** carrying its age of
+      information and the advertised staleness bound — provided the age
+      is within that bound;
+    * writes behind an open breaker are **shed** with a ``retry_after``
+      hint instead of tying up the storage path, bounding the write
+      pressure a partitioned edge keeps adding.
     """
 
-    def __init__(self, sim: Simulator, network: Network, node_id: str, store_client) -> None:
+    def __init__(self, sim: Simulator, network: Network, node_id: str,
+                 store_client,
+                 resilience: Optional[ResilienceConfig] = None) -> None:
         super().__init__(sim, network, node_id)
         self.store_client = store_client
+        self.resilience = resilience
+        self._read_breaker: Optional[CircuitBreaker] = None
+        self._write_breaker: Optional[CircuitBreaker] = None
+        if resilience is not None:
+            self._read_breaker = CircuitBreaker(
+                lambda: sim.now, resilience.breaker_failure_threshold,
+                resilience.breaker_cooldown_ms,
+            )
+            self._write_breaker = CircuitBreaker(
+                lambda: sim.now, resilience.breaker_failure_threshold,
+                resilience.breaker_cooldown_ms,
+            )
+        #: per key: (value, lc, sim time the value was last confirmed
+        #: against the storage layer) — the degraded-read source
+        self._last_known: Dict[str, Tuple[Any, LogicalClock, float]] = {}
         self.requests_served = 0
         self.requests_failed = 0
+        self.degraded_reads = 0
+        self.writes_shed = 0
+
+    def _remember(self, key: str, value: Any, lc: LogicalClock) -> None:
+        self._last_known[key] = (value, lc, self.sim.now)
+
+    def _serve_degraded(self, msg: Message, obj: str, detail: str = "") -> bool:
+        """Serve *obj* from the last-known cache if within the advertised
+        staleness bound; returns False when no in-bound value exists (the
+        caller then reports a plain failure)."""
+        entry = self._last_known.get(obj)
+        if entry is None:
+            return False
+        value, lc, confirmed_at = entry
+        age = self.sim.now - confirmed_at
+        bound = self.resilience.degraded_max_staleness_ms
+        if age > bound:
+            return False
+        self.degraded_reads += 1
+        self.requests_served += 1
+        obs = getattr(self.net, "obs", None)
+        if obs is not None:
+            obs.metrics.histogram(
+                "fe.degraded_staleness_ms", STALENESS_BUCKETS_MS
+            ).observe(age)
+        self.reply(
+            msg,
+            payload={
+                "obj": obj,
+                "value": value,
+                "lc": lc,
+                "hit": False,
+                "server": self.node_id,
+                "degraded": True,
+                "staleness_ms": age,
+                "staleness_bound_ms": bound,
+            },
+        )
+        return True
 
     def on_fe_read(self, msg: Message):
+        obj: str = msg["obj"]
+        breaker = self._read_breaker
+        if breaker is not None and not breaker.allow():
+            if self._serve_degraded(msg, obj):
+                return
+            self.requests_failed += 1
+            self.reply(msg, payload={"error": "circuit open, no local value"})
+            return
         try:
-            result: ReadResult = yield from self.store_client.read(msg["obj"])
+            result: ReadResult = yield from self.store_client.read(obj)
         except Exception as exc:  # noqa: BLE001 - report to the app client
+            if breaker is not None:
+                breaker.record_failure()
+                if self._serve_degraded(msg, obj, detail=repr(exc)):
+                    return
             self.requests_failed += 1
             self.reply(msg, payload={"error": repr(exc)})
             return
+        if breaker is not None:
+            breaker.record_success()
+            self._remember(obj, result.value, result.lc)
         self.requests_served += 1
         self.reply(
             msg,
@@ -74,14 +164,35 @@ class FrontEnd(Node):
         )
 
     def on_fe_write(self, msg: Message):
+        obj: str = msg["obj"]
+        breaker = self._write_breaker
+        if breaker is not None and not breaker.allow():
+            self.writes_shed += 1
+            self.reply(
+                msg,
+                payload={
+                    "shed": True,
+                    "retry_after_ms": breaker.retry_after_ms(
+                        self.resilience.shed_retry_after_ms
+                    ),
+                },
+            )
+            return
         try:
             result: WriteResult = yield from self.store_client.write(
-                msg["obj"], msg["value"]
+                obj, msg["value"]
             )
         except Exception as exc:  # noqa: BLE001
+            if breaker is not None:
+                breaker.record_failure()
             self.requests_failed += 1
             self.reply(msg, payload={"error": repr(exc)})
             return
+        if breaker is not None:
+            breaker.record_success()
+            # A completed write is as fresh as storage truth gets: it is
+            # the newest value this front end has confirmed.
+            self._remember(obj, result.value, result.lc)
         self.requests_served += 1
         self.reply(msg, payload={"obj": result.key, "lc": result.lc})
 
@@ -130,10 +241,16 @@ class AppClient(Node):
         node_id: str,
         redirection: RedirectionPolicy,
         request_timeout_ms: float = 30_000.0,
+        shed_retry_budget: int = 3,
     ) -> None:
         super().__init__(sim, network, node_id)
         self.redirection = redirection
         self.request_timeout_ms = request_timeout_ms
+        #: how many times a shed write is re-submitted (after waiting out
+        #: each retry-after hint) before it counts as rejected
+        self.shed_retry_budget = shed_retry_budget
+        self.degraded_reads_seen = 0
+        self.writes_shed_seen = 0
 
     def read(self, key: str):
         """Issue one read via a redirected front end.
@@ -152,6 +269,8 @@ class AppClient(Node):
             raise OperationFailed("read", key, detail=str(exc))
         if "error" in reply.payload:
             raise OperationFailed("read", key, detail=reply["error"])
+        if reply.get("degraded"):
+            self.degraded_reads_seen += 1
         return ReadResult(
             key=key,
             value=reply["value"],
@@ -161,21 +280,42 @@ class AppClient(Node):
             client=self.node_id,
             server=reply.get("server"),
             hit=reply.get("hit"),
+            degraded=bool(reply.get("degraded", False)),
+            staleness_ms=reply.get("staleness_ms"),
+            staleness_bound_ms=reply.get("staleness_bound_ms"),
         )
 
     def write(self, key: str, value: Any):
-        """Issue one write via a redirected front end (see :meth:`read`)."""
+        """Issue one write via a redirected front end (see :meth:`read`).
+
+        A throttling front end may *shed* the write with a retry-after
+        hint; the client waits it out and re-submits, up to
+        ``shed_retry_budget`` times, before reporting the rejection.
+        """
         start = self.sim.now
         front_end = self.redirection.pick(self.sim.rng)
-        try:
-            reply = yield self.call(
-                front_end,
-                "fe_write",
-                {"obj": key, "value": value},
-                timeout=self.request_timeout_ms,
-            )
-        except RpcTimeout as exc:
-            raise OperationFailed("write", key, detail=str(exc))
+        sheds = 0
+        while True:
+            try:
+                reply = yield self.call(
+                    front_end,
+                    "fe_write",
+                    {"obj": key, "value": value},
+                    timeout=self.request_timeout_ms,
+                )
+            except RpcTimeout as exc:
+                raise OperationFailed("write", key, detail=str(exc))
+            if "shed" in reply.payload:
+                self.writes_shed_seen += 1
+                sheds += 1
+                if sheds > self.shed_retry_budget:
+                    raise OperationFailed(
+                        "write", key,
+                        detail=f"shed {sheds} times (throttled)",
+                    )
+                yield self.sim.sleep(reply["retry_after_ms"])
+                continue
+            break
         if "error" in reply.payload:
             raise OperationFailed("write", key, detail=reply["error"])
         return WriteResult(

@@ -96,8 +96,15 @@ class McRunConfig:
     def _chaos_config(self) -> ChaosRunConfig:
         # The mc run borrows the chaos engine's deployment builder and
         # validation; the conversion goes through the shared scenario
-        # core instead of hand-copying each field.
-        return self.scenario().to_chaos(nemeses=(), horizon_ms=1.0)
+        # core instead of hand-copying each field.  The QRPC schedule is
+        # pinned to the fixed model parameters (not derived from the
+        # topology's delay distribution like chaos runs): the checker
+        # controls timing itself, and recorded schedules replay against
+        # these exact retransmission instants.
+        return self.scenario().to_chaos(
+            nemeses=(), horizon_ms=1.0,
+            qrpc_initial_timeout_ms=400.0, qrpc_max_timeout_ms=6_400.0,
+        )
 
 
 @dataclass

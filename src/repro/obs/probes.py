@@ -169,7 +169,31 @@ _NODE_COUNTERS = (
     ("writes_suppressed", "proto.writes_suppressed"),
     ("writes_through", "proto.writes_through"),
     ("delayed_enqueued", "proto.delayed_enqueued"),
+    ("catchups_started", "resil.catchups_started"),
 )
+
+#: front-end counter attribute -> metric name
+_FRONT_END_COUNTERS = (
+    ("requests_served", "fe.requests_served"),
+    ("requests_failed", "fe.requests_failed"),
+    ("degraded_reads", "fe.degraded_reads"),
+    ("writes_shed", "fe.writes_shed"),
+)
+
+
+def _collect_resilience(holder: Any, metrics: MetricsRegistry,
+                        node_id: str) -> None:
+    """Scrape a node's / client's NodeResilience counters, if attached."""
+    res = getattr(holder, "resilience", None)
+    if res is None or not hasattr(res, "detector"):
+        return
+    metrics.gauge("resil.suspicions", node=node_id).set(
+        float(res.detector.suspicions)
+    )
+    metrics.gauge("resil.hedges_sent", node=node_id).set(float(res.hedges_sent))
+    metrics.gauge("resil.adaptive_rounds", node=node_id).set(
+        float(res.adaptive_rounds)
+    )
 
 
 def collect_protocol_metrics(deployment: Any, metrics: MetricsRegistry) -> None:
@@ -178,7 +202,10 @@ def collect_protocol_metrics(deployment: Any, metrics: MetricsRegistry) -> None:
     Works for any deployment: nodes are discovered through the cluster
     (IQS+OQS for dual-quorum protocols, ``servers`` otherwise) and only
     the counters a node actually defines are recorded.  DQVL hit rate
-    and logical-clock epoch state get derived gauges on top.
+    and logical-clock epoch state get derived gauges on top.  Front-end
+    service counters (degraded reads, shed writes) and resilience-layer
+    counters (suspicions, hedges, adaptive rounds, catch-ups) are
+    scraped when those layers are present.
     """
     cluster = deployment.cluster
     if hasattr(cluster, "iqs_nodes"):
@@ -193,6 +220,7 @@ def collect_protocol_metrics(deployment: Any, metrics: MetricsRegistry) -> None:
             value = getattr(node, attr, None)
             if value is not None:
                 metrics.gauge(metric_name, node=node.node_id).set(float(value))
+        _collect_resilience(node, metrics, node.node_id)
         hits += getattr(node, "read_hits", 0)
         misses += getattr(node, "read_misses", 0)
         epoch = getattr(node, "logical_clock", None)
@@ -205,5 +233,15 @@ def collect_protocol_metrics(deployment: Any, metrics: MetricsRegistry) -> None:
             metrics.gauge("proto.live_callbacks", node=node.node_id).set(
                 float(node.live_callback_count())
             )
+    for fe in getattr(deployment, "front_ends", ()) or ():
+        for attr, metric_name in _FRONT_END_COUNTERS:
+            value = getattr(fe, attr, None)
+            if value is not None:
+                metrics.gauge(metric_name, node=fe.node_id).set(float(value))
+        client = getattr(fe, "store_client", None)
+        if client is not None:
+            _collect_resilience(client, metrics, getattr(
+                client, "node_id", fe.node_id
+            ))
     if hits + misses:
         metrics.gauge("proto.read_hit_rate").set(hits / (hits + misses))

@@ -32,7 +32,7 @@ from typing import Callable, Dict, FrozenSet, Optional, Set, Tuple
 
 from ..sim.kernel import Future, any_of
 from ..sim.messages import Message
-from ..sim.node import Node
+from ..sim.node import Node, RpcTimeout
 from .system import QuorumSystem
 
 __all__ = ["READ", "WRITE", "QrpcError", "QuorumCall", "qrpc"]
@@ -96,6 +96,14 @@ class QuorumCall:
         installed, each retransmission round opens a child span and the
         round's messages carry that span id, producing the
         op→round→message tree.
+    resilience:
+        Optional :class:`~repro.resilience.NodeResilience`.  When set,
+        the call feeds the node's failure detector with every
+        reply/timeout, sizes per-round timeouts from observed RTT
+        quantiles, avoids suspected replicas when sampling quorums,
+        hedges slow rounds with one backup probe, and jitters the
+        backoff schedule — all from dedicated RNG streams, so a ``None``
+        here (the default) leaves the legacy behaviour byte-identical.
     """
 
     def __init__(
@@ -113,6 +121,7 @@ class QuorumCall:
         sample_targets: Optional[Callable[[], FrozenSet[str]]] = None,
         broadcast_after: int = 2,
         span=None,
+        resilience=None,
     ) -> None:
         if mode not in (READ, WRITE):
             raise ValueError(f"mode must be READ or WRITE, got {mode!r}")
@@ -141,9 +150,17 @@ class QuorumCall:
         self.broadcast_after = broadcast_after
         #: parent span for causal tracing (Span object or raw id)
         self.span: Optional[int] = getattr(span, "span_id", span)
+        #: optional NodeResilience (adaptive timeouts, hedging, suspect
+        #: avoidance); None keeps the legacy behaviour exactly
+        self.resilience = resilience
         self.replies: Dict[str, Message] = {}
         self.attempts = 0
         self._completion: Optional[Future] = None
+        #: caller crash epoch this call (and each round's replies) belongs
+        #: to — replies gathered before a crash of the *caller* must not
+        #: count toward a quorum completed after its recovery
+        self._epoch = node._crash_count
+        self._hedge_timer = None
 
     # -- default predicate ---------------------------------------------------
 
@@ -170,6 +187,12 @@ class QuorumCall:
             # selected quorum" — pinning the (possibly dead) preferred
             # node on retries would defeat the point.
             prefer = None
+        if self.resilience is not None:
+            # Suspect-avoiding sampling from the dedicated selection
+            # stream; a suspected prefer target loses its first-hop
+            # privilege inside sample_quorum.
+            return self.resilience.sample_quorum(self.system, self.mode,
+                                                 prefer=prefer)
         if self.mode == READ:
             return self.system.sample_read_quorum(self.node.sim.rng, prefer=prefer)
         return self.system.sample_write_quorum(self.node.sim.rng, prefer=prefer)
@@ -179,7 +202,15 @@ class QuorumCall:
     def run(self):
         """Kernel process: yields until done; returns the replies dict."""
         sim = self.node.sim
-        interval = self.initial_timeout_ms
+        res = self.resilience
+        cap = self.max_timeout_ms
+        base = self.initial_timeout_ms
+        if res is not None:
+            # Size the first-round timeout from observed RTT quantiles
+            # once the detector has enough samples; the configured
+            # schedule is the cold-start fallback.
+            base = res.round_timeout(self.initial_timeout_ms, cap)
+        interval = base
         self._completion = sim.future(name=f"qrpc:{self.node.node_id}")
         obs = getattr(self.node.net, "obs", None)
         tracer = obs.tracer if obs is not None else None
@@ -190,11 +221,26 @@ class QuorumCall:
             return self.replies
 
         while True:
+            if self.node._crash_count != self._epoch:
+                # The *caller* crashed since the previous round.  Every
+                # reply gathered by the dead incarnation must be
+                # discarded: counting it toward a quorum completed after
+                # recovery would let a single live responder masquerade
+                # as a full quorum assembled across the crash.
+                self._epoch = self.node._crash_count
+                self.replies.clear()
+                self._completion = sim.future(name=f"qrpc:{self.node.node_id}")
+                base = self.initial_timeout_ms
+                if res is not None:
+                    base = res.round_timeout(self.initial_timeout_ms, cap)
+                interval = base
+
             self.attempts += 1
             if self.max_attempts is not None and self.attempts > self.max_attempts:
                 raise QrpcError(self.mode, self.attempts - 1)
 
             targets = self._sample_targets()
+            self._round_interval = interval
             round_span = None
             if tracer is not None:
                 round_span = tracer.span(
@@ -220,7 +266,14 @@ class QuorumCall:
                                         span=call_span)
                 future.add_callback(self._make_reply_handler(target))
 
+            self._maybe_hedge(targets, interval, call_span)
             winner_index, _ = yield any_of(sim, [self._completion, sim.sleep(interval)])
+            self._cancel_hedge()
+            if self.node._crash_count != self._epoch:
+                # Crashed mid-round; the loop top resets to a clean slate.
+                if round_span is not None:
+                    round_span.finish(outcome="crashed")
+                continue
             if winner_index == 0:
                 if round_span is not None:
                     round_span.finish(outcome="quorum")
@@ -233,13 +286,79 @@ class QuorumCall:
                 return self.replies
             if round_span is not None:
                 round_span.finish(outcome="timeout", replies=len(self.replies))
-            interval = min(interval * self.backoff, self.max_timeout_ms)
+            if res is not None:
+                interval = res.next_interval(interval, base, cap)
+            else:
+                interval = min(interval * self.backoff, cap)
+
+    # -- hedging -------------------------------------------------------------
+
+    def _maybe_hedge(self, targets: FrozenSet[str], interval: float,
+                     call_span) -> None:
+        """Arm this round's backup probe, if resilience says to.
+
+        When the round has been outstanding for the detector's
+        hedge-quantile RTT estimate without completing, one extra
+        replica (not yet targeted, unsuspected preferred) gets the same
+        request — straight-up tail-latency hedging, bounded to a single
+        extra message per round.
+        """
+        res = self.resilience
+        if res is None:
+            return
+        delay = res.hedge_delay(interval)
+        if delay is None:
+            return
+        completion = self._completion
+
+        def fire() -> None:
+            self._hedge_timer = None
+            if completion is not self._completion or completion.done:
+                return
+            target = res.pick_hedge(self.system, targets, self.replies)
+            if target is None:
+                return
+            request = self.request_for(target)
+            if request is None:
+                return
+            kind, payload = request
+            remaining = max(1.0, interval - delay)
+            future = self.node.call(target, kind, payload, timeout=remaining,
+                                    span=call_span)
+            future.add_callback(self._make_reply_handler(target))
+            res.hedges_sent += 1
+
+        # node.after is crash-epoch-guarded: a hedge armed before a crash
+        # never fires on the recovered incarnation.
+        self._hedge_timer = self.node.after(delay, fire)
+
+    def _cancel_hedge(self) -> None:
+        if self._hedge_timer is not None:
+            self._hedge_timer.cancel()
+            self._hedge_timer = None
+
+    # -- reply handling ------------------------------------------------------
 
     def _make_reply_handler(self, target: str) -> Callable[[Future], None]:
+        epoch = self._epoch
+        sent_at = self.node.sim.now
+        round_interval = getattr(self, "_round_interval", self.initial_timeout_ms)
+        res = self.resilience
+
         def handle(future: Future) -> None:
             if future.failed:
+                if res is not None and epoch == self._epoch:
+                    exc = future.exception
+                    if isinstance(exc, RpcTimeout):
+                        res.detector.observe_timeout(target, round_interval)
                 return  # timeout or crash: the retransmission loop covers it
+            if epoch != self._epoch:
+                # Reply to a request issued before the caller crashed:
+                # the recovered incarnation must not count it.
+                return
             message: Message = future._value
+            if res is not None:
+                res.detector.observe_reply(target, self.node.sim.now - sent_at)
             if target not in self.replies or self.resend_to_responders:
                 self.replies[target] = message
             if (

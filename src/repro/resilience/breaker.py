@@ -1,0 +1,81 @@
+"""A deterministic circuit breaker for front-end graceful degradation.
+
+Classic three-state machine, driven entirely by the simulated clock:
+
+* **closed** — requests flow; consecutive failures are counted.
+* **open** — tripped after ``failure_threshold`` consecutive failures;
+  requests are refused (the caller serves degraded reads / sheds writes)
+  until ``cooldown_ms`` has elapsed.
+* **half-open** — after the cooldown, exactly one probe request is let
+  through; its outcome closes the breaker or re-opens it for another
+  cooldown.
+
+No randomness anywhere: with the same sequence of (time, outcome)
+observations the breaker takes the same transitions in every run.
+"""
+
+from __future__ import annotations
+
+__all__ = ["CircuitBreaker"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Per-front-end breaker guarding one class of storage operations."""
+
+    def __init__(self, now_fn, failure_threshold: int = 2,
+                 cooldown_ms: float = 1_500.0) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown_ms <= 0:
+            raise ValueError("cooldown_ms must be positive")
+        self._now = now_fn
+        self.failure_threshold = failure_threshold
+        self.cooldown_ms = cooldown_ms
+        self.state = CLOSED
+        self._failures = 0
+        self._opened_at = float("-inf")
+        #: closed -> open transitions (observability counter)
+        self.trips = 0
+
+    def allow(self) -> bool:
+        """May a request be attempted right now?
+
+        In the open state this flips to half-open (and admits the single
+        probe) once the cooldown has elapsed.
+        """
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN and self._now() - self._opened_at >= self.cooldown_ms:
+            self.state = HALF_OPEN
+            return True
+        # OPEN within cooldown, or HALF_OPEN with the probe outstanding.
+        return False
+
+    def record_success(self) -> None:
+        self.state = CLOSED
+        self._failures = 0
+
+    def record_failure(self) -> None:
+        if self.state == HALF_OPEN:
+            # The probe failed: re-open for another full cooldown.
+            self.state = OPEN
+            self._opened_at = self._now()
+            return
+        self._failures += 1
+        if self.state == CLOSED and self._failures >= self.failure_threshold:
+            self.state = OPEN
+            self._opened_at = self._now()
+            self.trips += 1
+
+    def retry_after_ms(self, fallback: float = 500.0) -> float:
+        """How long a shed caller should wait before retrying: the
+        remaining cooldown when open, else *fallback*."""
+        if self.state == OPEN:
+            remaining = self.cooldown_ms - (self._now() - self._opened_at)
+            if remaining > 0:
+                return remaining
+        return fallback

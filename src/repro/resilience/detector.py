@@ -1,0 +1,138 @@
+"""Seed-deterministic phi-accrual-style failure detection.
+
+One :class:`FailureDetector` per observing node, fed exclusively by that
+node's QRPC traffic: every reply contributes an RTT sample (on the
+**simulated** clock — wall clock never enters the simulation), every
+RPC timeout raises the target's suspicion level, and the next reply
+clears it.
+
+This is *phi-accrual-style* rather than textbook phi-accrual: the
+classic detector (Hayashibara et al.) consumes periodic heartbeats and
+computes phi from the inter-arrival distribution.  Edge clients have no
+heartbeat stream — their only evidence is request/reply traffic — so
+suspicion here accrues one unit per timed-out RPC, weighted by how far
+the timed-out interval already exceeded the target's smoothed RTT
+expectation (a timeout that outlived ``srtt + 4*rttvar`` several times
+over is stronger evidence than one barely past it).  The shape matches
+phi-accrual's purpose: a continuous suspicion level with a threshold,
+not a binary alive/dead bit.
+
+Everything is a pure function of observation order and the sim clock,
+so same-seed runs produce identical detector state; the detector draws
+no randomness at all.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional
+
+from .config import ResilienceConfig
+
+__all__ = ["FailureDetector"]
+
+
+class _TargetStats:
+    """Jacobson/Karels smoothed RTT plus accrued suspicion for one target."""
+
+    __slots__ = ("srtt", "rttvar", "suspicion", "last_reply_at")
+
+    def __init__(self) -> None:
+        self.srtt: Optional[float] = None
+        self.rttvar: float = 0.0
+        self.suspicion: float = 0.0
+        self.last_reply_at: Optional[float] = None
+
+
+class FailureDetector:
+    """Per-node failure detector over QRPC reply/timeout observations."""
+
+    def __init__(self, now_fn, config: Optional[ResilienceConfig] = None) -> None:
+        self._now = now_fn
+        self.config = config or ResilienceConfig()
+        self._targets: Dict[str, _TargetStats] = {}
+        #: bounded window of recent RTTs across all targets, for the
+        #: adaptive-timeout and hedging quantile estimates
+        self._rtts: Deque[float] = deque(maxlen=self.config.rtt_window)
+        #: healthy -> suspected transitions (observability counter)
+        self.suspicions = 0
+
+    # -- observations -------------------------------------------------------
+
+    def observe_reply(self, target: str, rtt_ms: float) -> None:
+        """A reply from *target* arrived after *rtt_ms* of simulated time."""
+        st = self._targets.setdefault(target, _TargetStats())
+        if st.srtt is None:
+            st.srtt = rtt_ms
+            st.rttvar = rtt_ms / 2.0
+        else:
+            # Jacobson/Karels EWMA (alpha=1/8, beta=1/4), the standard
+            # deterministic RTT estimator.
+            st.rttvar += 0.25 * (abs(st.srtt - rtt_ms) - st.rttvar)
+            st.srtt += 0.125 * (rtt_ms - st.srtt)
+        st.suspicion = 0.0
+        st.last_reply_at = self._now()
+        self._rtts.append(rtt_ms)
+
+    def observe_timeout(self, target: str, interval_ms: float) -> None:
+        """An RPC to *target* timed out after waiting *interval_ms*."""
+        st = self._targets.setdefault(target, _TargetStats())
+        was_suspect = self.is_suspect(target)
+        expected = self.expected_rtt(target)
+        increment = 1.0
+        if expected is not None and expected > 0:
+            # Longer timed-out waits are stronger evidence; never weaker
+            # than one unit so repeated short-fuse timeouts still accrue.
+            increment = max(1.0, min(4.0, interval_ms / expected))
+        st.suspicion += increment
+        if not was_suspect and self.is_suspect(target):
+            self.suspicions += 1
+
+    # -- queries ------------------------------------------------------------
+
+    def expected_rtt(self, target: str) -> Optional[float]:
+        """``srtt + 4*rttvar`` for *target*, or None before any reply."""
+        st = self._targets.get(target)
+        if st is None or st.srtt is None:
+            return None
+        return st.srtt + 4.0 * st.rttvar
+
+    def suspicion(self, target: str) -> float:
+        st = self._targets.get(target)
+        return st.suspicion if st is not None else 0.0
+
+    def is_suspect(self, target: str) -> bool:
+        return self.suspicion(target) >= self.config.suspicion_threshold
+
+    def rtt_quantile(self, q: float) -> Optional[float]:
+        """The *q*-quantile of the recent-RTT window (nearest-rank), or
+        None while fewer than ``min_rtt_samples`` samples exist."""
+        if len(self._rtts) < self.config.min_rtt_samples:
+            return None
+        ordered = sorted(self._rtts)
+        rank = min(len(ordered) - 1, max(0, int(q * len(ordered))))
+        return ordered[rank]
+
+    def timeout_for(self, fallback: float, cap: float) -> float:
+        """Adaptive per-round QRPC timeout from observed RTT quantiles.
+
+        Falls back to the configured schedule until enough samples exist;
+        never below ``min_timeout_ms`` and never above *cap*.
+        """
+        estimate = self.rtt_quantile(self.config.timeout_quantile)
+        if estimate is None:
+            return min(fallback, cap)
+        adaptive = estimate * self.config.timeout_multiplier
+        return min(max(adaptive, self.config.min_timeout_ms), cap)
+
+    def hedge_delay(self, interval_ms: float) -> Optional[float]:
+        """How long to wait before sending a backup probe this round.
+
+        Returns the detector's ``hedge_quantile`` RTT estimate, or None
+        when no estimate exists or hedging could not fire before the
+        round's own timeout anyway.
+        """
+        estimate = self.rtt_quantile(self.config.hedge_quantile)
+        if estimate is None or estimate >= interval_ms:
+            return None
+        return estimate

@@ -1,0 +1,125 @@
+"""Per-node resilience runtime: detector + dedicated RNG streams.
+
+One :class:`NodeResilience` instance is attached to each node that
+issues quorum calls (DQVL/basic-DQ store clients and OQS nodes).  It
+bundles the node's failure detector with the three randomized policies
+the resilience layer adds — suspect-avoiding quorum selection, hedge
+target choice, and decorrelated-jitter backoff — each drawing from its
+own string-seeded stream (``resil-select:{seed}:{node_id}`` etc.), so:
+
+* enabling resilience never consumes a draw from the simulator's shared
+  ``sim.rng`` (baseline runs stay byte-identical per seed), and
+* the streams are independent of each other — adding a hedge cannot
+  shift which quorum the next retransmission samples.
+
+CPython seeds ``random.Random`` from strings via SHA-512, so these
+streams are stable across processes and platforms regardless of
+``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, FrozenSet, Optional, Sequence
+
+from .config import ResilienceConfig
+from .detector import FailureDetector
+
+__all__ = ["NodeResilience"]
+
+
+class NodeResilience:
+    """Failure detector plus resilience policy state for one node."""
+
+    def __init__(self, sim, node_id: str,
+                 config: Optional[ResilienceConfig] = None) -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self.config = config or ResilienceConfig()
+        self.detector = FailureDetector(lambda: sim.now, self.config)
+        seed = sim.seed
+        self._select_rng = random.Random(f"resil-select:{seed}:{node_id}")
+        self._hedge_rng = random.Random(f"resil-hedge:{seed}:{node_id}")
+        self._backoff_rng = random.Random(f"resil-backoff:{seed}:{node_id}")
+        #: observability counters
+        self.hedges_sent = 0
+        self.adaptive_rounds = 0
+
+    # -- timeouts ------------------------------------------------------------
+
+    def round_timeout(self, fallback: float, cap: float) -> float:
+        """First-round timeout: adaptive when the detector has enough
+        RTT samples, else the configured *fallback*."""
+        timeout = self.detector.timeout_for(fallback, cap)
+        if timeout != min(fallback, cap):
+            self.adaptive_rounds += 1
+        return timeout
+
+    def next_interval(self, prev: float, base: float, cap: float) -> float:
+        """Next retransmission interval after a timed-out round.
+
+        Decorrelated jitter (the AWS "exp backoff and jitter" variant):
+        ``uniform(base, prev * 3)`` capped — retransmission storms from
+        many clients decorrelate instead of synchronising on the
+        deterministic ``prev * backoff`` ladder.
+        """
+        if not self.config.jittered_backoff:
+            return min(prev * 2.0, cap)
+        return min(cap, self._backoff_rng.uniform(base, max(base, prev * 3.0)))
+
+    # -- quorum selection ----------------------------------------------------
+
+    def sample_quorum(self, system, mode: str,
+                      prefer: Optional[str] = None) -> FrozenSet[str]:
+        """A minimal quorum biased away from suspected replicas.
+
+        Samples normally (from the dedicated selection stream, *not*
+        ``sim.rng``), then greedily swaps suspected members for healthy
+        non-members while the quorum property is preserved.  A suspected
+        *prefer* target is dropped — the local replica loses its
+        first-hop privilege while the detector distrusts it.
+        """
+        det = self.detector
+        if prefer is not None and det.is_suspect(prefer):
+            prefer = None
+        if mode == "READ":
+            quorum = set(system.sample_read_quorum(self._select_rng, prefer=prefer))
+            is_quorum = system.is_read_quorum
+        else:
+            quorum = set(system.sample_write_quorum(self._select_rng, prefer=prefer))
+            is_quorum = system.is_write_quorum
+        suspects = sorted(t for t in quorum if det.is_suspect(t))
+        if suspects:
+            healthy_outside = sorted(
+                t for t in system.nodes
+                if t not in quorum and not det.is_suspect(t)
+            )
+            for member in suspects:
+                for candidate in healthy_outside:
+                    trial = (quorum - {member}) | {candidate}
+                    if is_quorum(trial):
+                        quorum = trial
+                        healthy_outside.remove(candidate)
+                        break
+        return frozenset(quorum)
+
+    # -- hedging -------------------------------------------------------------
+
+    def hedge_delay(self, interval_ms: float) -> Optional[float]:
+        if not self.config.hedging:
+            return None
+        return self.detector.hedge_delay(interval_ms)
+
+    def pick_hedge(self, system, targets: FrozenSet[str],
+                   replies: Dict) -> Optional[str]:
+        """The backup replica for a slow round: a system member not yet
+        targeted (and not already a responder), unsuspected candidates
+        first.  None when every member is already in play."""
+        det = self.detector
+        candidates = [t for t in sorted(system.nodes)
+                      if t not in targets and t not in replies]
+        if not candidates:
+            return None
+        healthy = [t for t in candidates if not det.is_suspect(t)]
+        pool = healthy or candidates
+        return self._hedge_rng.choice(pool)

@@ -1,0 +1,32 @@
+"""Derive QRPC timeout schedules from a scenario's delay distribution.
+
+The historical defaults (``initial_timeout_ms=400``, ``max=6400``) were
+tuned for nothing in particular: far too loose for a LAN topology (where
+a lost message should be retried within tens of milliseconds) and too
+tight for a degraded WAN with large jitter.  Instead, compute the
+schedule from the same :class:`~repro.edge.topology.EdgeTopologyConfig`
+the deployment uses, so the first-round timeout tracks the worst-case
+round trip actually possible in the configured network.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+__all__ = ["derive_qrpc_timeouts"]
+
+
+def derive_qrpc_timeouts(topology, backoff: float = 2.0, rounds: int = 4,
+                         safety: float = 2.0) -> Tuple[float, float]:
+    """Return ``(initial_timeout_ms, max_timeout_ms)`` for *topology*.
+
+    ``initial`` covers one full worst-case round trip (the largest
+    one-way delay in the topology plus jitter and processing, doubled)
+    times a *safety* factor; ``max`` is where the exponential schedule
+    lands after *rounds* backoff steps, so retransmissions still have
+    room to stretch under congestion/faults.
+    """
+    one_way = max(topology.lan_ms, topology.client_wan_ms, topology.server_wan_ms)
+    worst_rtt = 2.0 * (one_way + topology.jitter_ms + topology.processing_ms)
+    initial = max(1.0, worst_rtt * safety)
+    return initial, initial * (backoff ** rounds)

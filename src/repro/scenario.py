@@ -106,6 +106,13 @@ class ScenarioConfig:
     jitter_ms: Any = UNSET
     client_max_attempts: Any = UNSET
     time_limit_ms: Any = UNSET
+    #: adaptive resilience layer (failure detectors, hedged QRPCs,
+    #: degraded-mode front ends); chaos + experiment runners only
+    resilience: Any = UNSET
+    #: QRPC retransmission schedule override (DQVL-family protocols);
+    #: unset = derive from the topology's delay distribution
+    qrpc_initial_timeout_ms: Any = UNSET
+    qrpc_max_timeout_ms: Any = UNSET
 
     # -- extraction --------------------------------------------------------
 
@@ -153,6 +160,9 @@ class ScenarioConfig:
         from .chaos.campaign import ChaosRunConfig
 
         kwargs = self._set_kwargs(*SHARED_FIELDS)
+        kwargs.update(self._set_kwargs(
+            "resilience", "qrpc_initial_timeout_ms", "qrpc_max_timeout_ms"
+        ))
         kwargs.update(overrides)
         return ChaosRunConfig(**kwargs)
 
@@ -164,6 +174,15 @@ class ScenarioConfig:
         """
         from .mc.runner import McRunConfig
 
+        if (self.resilience is not UNSET and self.resilience) or any(
+            getattr(self, f) is not UNSET
+            for f in ("qrpc_initial_timeout_ms", "qrpc_max_timeout_ms")
+        ):
+            raise ValueError(
+                "the model checker controls timing itself; resilience and "
+                "qrpc timeout overrides do not apply — use to_chaos() / "
+                "to_experiment() for those"
+            )
         kwargs = self._set_kwargs(*SHARED_FIELDS)
         kwargs.update(overrides)
         return McRunConfig(**kwargs)
@@ -199,25 +218,34 @@ class ScenarioConfig:
         if self.jitter_ms is not UNSET and "topology" not in overrides:
             kwargs["topology"] = EdgeTopologyConfig(jitter_ms=self.jitter_ms)
         lease_kwargs = self._set_kwargs("lease_length_ms", "max_drift")
+        qrpc_kwargs = self._set_kwargs(
+            "qrpc_initial_timeout_ms", "qrpc_max_timeout_ms"
+        )
+        wants_resilience = self.resilience is not UNSET and bool(self.resilience)
         wants_deploy = (
-            lease_kwargs or self.client_max_attempts is not UNSET
+            lease_kwargs or qrpc_kwargs or wants_resilience
+            or self.client_max_attempts is not UNSET
         ) and "deploy_kwargs" not in overrides
         if wants_deploy:
             if self.protocol in ("dqvl", "basic_dq"):
                 deploy: dict = {}
-                if lease_kwargs:
+                if lease_kwargs or qrpc_kwargs:
                     deploy["config"] = DqvlConfig(
                         proactive_renewal=(self.protocol == "dqvl"),
-                        **lease_kwargs,
+                        **lease_kwargs, **qrpc_kwargs,
                     )
                 if self.client_max_attempts is not UNSET:
                     deploy["client_max_attempts"] = self.client_max_attempts
+                if wants_resilience:
+                    from .resilience import ResilienceConfig
+
+                    deploy["resilience"] = ResilienceConfig()
                 kwargs["deploy_kwargs"] = deploy
             else:
                 raise ValueError(
-                    "lease_length_ms/max_drift/client_max_attempts only map "
-                    f"to DQVL-family deployments, not {self.protocol!r}; "
-                    "pass deploy_kwargs explicitly"
+                    "lease_length_ms/max_drift/client_max_attempts/resilience"
+                    "/qrpc timeouts only map to DQVL-family deployments, not "
+                    f"{self.protocol!r}; pass deploy_kwargs explicitly"
                 )
         kwargs.update(overrides)
         return ExperimentConfig(**kwargs)

@@ -73,6 +73,17 @@ class ReadResult:
     hit:
         For cache-based protocols: True when served without contacting
         a remote quorum (DQVL read hit).
+    degraded:
+        True when a front end served a remembered local value because
+        its storage path was unavailable (circuit breaker open).  The
+        value may be stale; regularity is not claimed for it — the
+        consistency checker skips degraded reads and the chaos campaign
+        counts them separately.
+    staleness_ms / staleness_bound_ms:
+        For degraded reads: the served value's age of information
+        (simulated time since the front end last confirmed it against
+        the storage layer) and the advertised bound the front end
+        guarantees never to exceed.
     """
 
     key: str
@@ -83,6 +94,9 @@ class ReadResult:
     client: str = ""
     server: Optional[str] = None
     hit: Optional[bool] = None
+    degraded: bool = False
+    staleness_ms: Optional[float] = None
+    staleness_bound_ms: Optional[float] = None
 
     @property
     def latency(self) -> float:
