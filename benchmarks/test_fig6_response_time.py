@@ -16,9 +16,13 @@ Expected shape (the paper's findings):
   exceeds primary/backup and ROWA (one round each).
 """
 
+import dataclasses
+
 import pytest
 
 from repro.harness import ExperimentConfig, format_series, format_table, run_sweep
+from repro.harness.experiment import run_response_time
+from repro.obs import format_budget
 
 PROTOCOLS = ["dqvl", "majority", "primary_backup", "rowa", "rowa_async"]
 OPS = 150
@@ -123,3 +127,50 @@ def test_fig6b_write_rate_sweep(benchmark, emit):
     # invalidations, cutting the per-write cost from three rounds to two.
     assert dqvl[0] < dqvl[-1]
     assert all(a <= b + 40.0 for a, b in zip(dqvl, dqvl[1:]))
+
+
+def test_fig6_phase_budget(emit):
+    """Latency budget decomposition of the Fig 6(a) scenario.
+
+    The paper's local-read story as a measured decomposition: DQVL
+    local-hit reads carry ~zero quorum straggler wait (one LAN round
+    trip, no stragglers), while writes and renewal misses pay the
+    quorum cost.  Traced runs bypass the sweep cache — the span tracer
+    does not survive the result-reduction boundary.
+    """
+    budgets = {}
+    for protocol in ("dqvl", "majority"):
+        config = dataclasses.replace(_config(protocol, 0.05), trace=True)
+        result = run_response_time(config)
+        assert result.obs is not None
+        budgets[protocol] = result.obs.latency_budget()
+
+    emit(
+        "fig6_phase_budget",
+        "".join(
+            format_budget(
+                budgets[p],
+                title=f"Fig 6 latency budget — {p} (write ratio 0.05)",
+            )
+            for p in budgets
+        ),
+    )
+
+    dqvl = budgets["dqvl"].groups
+    hits = dqvl["read[hit]"]
+    writes = dqvl["write"]
+    # Local hits: pure network, no straggler wait, no lease detour.
+    assert hits["quorum_wait"].mean < 1.0
+    assert hits["lease"].mean < 1.0
+    # Writes pay the quorum cost (two IQS rounds + invalidation waits).
+    assert writes["quorum_wait"].mean > 10.0 * max(hits["quorum_wait"].mean, 0.1)
+    # Renewal misses, when present, carry the lease detour.
+    misses = dqvl.get("read[miss]")
+    if misses is not None and misses["total"].count:
+        assert misses["lease"].mean + misses["quorum_wait"].mean > 1.0
+    # Conservation holds group by group: phase means sum to the total mean.
+    for group, phases in dqvl.items():
+        phase_sum = sum(
+            h.mean for name, h in phases.items() if name != "total"
+        )
+        assert phase_sum == pytest.approx(phases["total"].mean, abs=1e-6), group

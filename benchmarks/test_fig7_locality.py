@@ -17,9 +17,13 @@ Expected shape:
   matching the paper's deployment guidance.
 """
 
+import dataclasses
+
 import pytest
 
 from repro.harness import ExperimentConfig, format_series, format_table, run_sweep
+from repro.harness.experiment import run_response_time
+from repro.obs import format_budget
 
 PROTOCOLS = ["dqvl", "majority", "primary_backup", "rowa", "rowa_async"]
 OPS = 150
@@ -105,3 +109,35 @@ def test_fig7b_locality_sweep(benchmark, emit):
     # the strong baselines; at 0% it is not.
     assert dqvl[3] < majority[3] and dqvl[3] <= pb[3] * 1.05  # locality 0.7
     assert dqvl[0] > pb[0]  # locality 0.0: DQVL loses
+
+
+def test_fig7_phase_budget_90pct(emit):
+    """Latency budget at 90 % locality: where the remote 10 % goes.
+
+    Remote reads miss the local OQS lease and pay the renewal detour;
+    the budget table makes that visible as lease + quorum-wait mass in
+    the read[miss] row while read[hit] stays pure LAN network time.
+    """
+    config = dataclasses.replace(_config("dqvl", locality=0.9), trace=True)
+    result = run_response_time(config)
+    assert result.obs is not None
+    budget = result.obs.latency_budget()
+    emit(
+        "fig7_phase_budget_l090",
+        format_budget(
+            budget,
+            title="Fig 7 latency budget — dqvl (locality 0.9, write ratio 0.05)",
+        ),
+    )
+
+    groups = budget.groups
+    hits = groups["read[hit]"]
+    # Hits never pay a renewal or straggler wait, even at 90% locality.
+    assert hits["quorum_wait"].mean < 1.0
+    assert hits["lease"].mean < 1.0
+    # At 90% locality misses exist and their latency is dominated by the
+    # lease renewal detour plus the quorum wait it entails.
+    misses = groups["read[miss]"]
+    assert misses["total"].count > 0
+    detour = misses["lease"].mean + misses["quorum_wait"].mean
+    assert detour > 0.5 * misses["total"].mean

@@ -461,6 +461,13 @@ def run_chaos(
         trace_jsonl = spans_to_jsonl(obs.tracer, faults=schedule,
                                      metrics=obs.metrics)
         trace_chrome = spans_to_chrome(obs.tracer, faults=schedule)
+        # Where the milliseconds went under faults: the availability
+        # report gains a phase x percentile budget per op group, with
+        # degraded reads split out (their "latency" is the detour cost,
+        # not a storage round trip).
+        stats["availability"]["phase_budgets"] = (
+            obs.latency_budget().to_json_obj()
+        )
     return ChaosRunResult(
         config=config, schedule=schedule, violations=violations, stats=stats,
         trace_jsonl=trace_jsonl, trace_chrome=trace_chrome,

@@ -9,6 +9,7 @@ Commands
 ``chaos``        randomized chaos campaign with invariant checking
 ``explore``      systematic schedule-space exploration (mini model checker)
 ``trace``        traced run exporting a causal op→round→message timeline
+``why``          explain latency: critical paths, phase budgets, perf gate
 ``protocols``    list the available protocols
 
 Examples::
@@ -24,6 +25,8 @@ Examples::
     python -m repro explore --strategy dfs --sweep-edges 2:5 --budget 200
     python -m repro trace --partition 200:400 --export chrome --out trace.json
     python -m repro trace --export jsonl --span-filter op --top-slow 5
+    python -m repro why --protocol dqvl --top 5 --check-conservation
+    python -m repro why --gate --record
 
 The ``run``/``chaos``/``explore``/``trace`` commands share one set of
 scenario flags (one :func:`_scenario_parent` per command, so defaults
@@ -282,12 +285,54 @@ def build_parser() -> argparse.ArgumentParser:
                             "(subtrees of matches are retained)")
     trace.add_argument("--top-slow", type=int, default=0, metavar="N",
                        help="also print the N slowest operation spans")
+    trace.add_argument("--top-slow-json", default=None, metavar="PATH",
+                       help="write the top-slow ranking with per-phase "
+                            "latency attribution as deterministic JSON")
+    trace.add_argument("--attribution", action="store_true",
+                       help="also print critical-path phase attribution "
+                            "for the slowest ops")
     trace.add_argument(
         "--partition", default=None, metavar="START:DUR",
         help="partition the first edge's server from the quorum peers for "
              "DUR ms starting at START ms (shows, e.g., a DQVL read miss "
              "stalling on validation)",
     )
+
+    why = sub.add_parser(
+        "why",
+        help="explain latency: per-op critical paths, phase budgets, "
+             "and the perf-trajectory gate",
+        parents=[_scenario_parent(
+            write_ratio=0.2, ops=60, clients=3, edges=9,
+            ops_help="operations per client (small: traces are per-op)",
+        )],
+    )
+    why.add_argument("--locality", type=float, default=1.0)
+    why.add_argument("--top", type=int, default=5, metavar="N",
+                     help="explain the N slowest operations")
+    why.add_argument("--json", default=None, metavar="PATH",
+                     help="also write the top-slow attribution as "
+                          "deterministic JSON")
+    why.add_argument("--budget-out", default=None, metavar="PATH",
+                     help="write the phase x percentile budget table as JSON")
+    why.add_argument("--check-conservation", action="store_true",
+                     help="fail unless every op's phase durations sum to "
+                          "its end-to-end latency within 1e-6")
+    why.add_argument(
+        "--partition", default=None, metavar="START:DUR",
+        help="inject a partition fault window (same semantics as "
+             "`repro trace --partition`)",
+    )
+    why.add_argument("--gate", action="store_true",
+                     help="re-measure the canonical workloads and fail on "
+                          ">20%% regression in any attributed phase vs the "
+                          "last recorded trajectory point")
+    why.add_argument("--record", action="store_true",
+                     help="append the canonical-workload measurement to the "
+                          "trajectory history")
+    why.add_argument("--history", default=None, metavar="PATH",
+                     help="trajectory history file "
+                          "(default: BENCH_latency.json)")
 
     sub.add_parser("protocols", help="list available protocols")
     return parser
@@ -706,31 +751,45 @@ def _cmd_explore(args) -> int:
     return 0 if result.ok else 1
 
 
+def _partition_schedule(args):
+    """The shared ``--partition START:DUR`` fault schedule, or None.
+
+    Raises ValueError on a malformed spec.  Cuts the first edge's
+    server off from its quorum peers: for DQVL that severs oqs0 from
+    every IQS node, so a read miss at oqs0 must retransmit its
+    validation rounds until the window heals.
+    """
+    if args.partition is None:
+        return None
+    from .chaos.faults import Fault, FaultSchedule
+
+    start_str, dur_str = args.partition.split(":", 1)
+    start, duration = float(start_str), float(dur_str)
+    if args.protocol in ("dqvl", "basic_dq"):
+        groups = (("oqs0",), tuple(f"iqs{k}" for k in range(args.edges)))
+    else:
+        groups = (("srv0",), tuple(f"srv{k}" for k in range(1, args.edges)))
+    return FaultSchedule([
+        Fault.make("partition", start=start, duration=duration,
+                   groups=groups)
+    ])
+
+
 def _cmd_trace(args) -> int:
-    from .obs import format_top_slow, spans_to_chrome, spans_to_jsonl
+    from .obs import (
+        format_attributions,
+        format_top_slow,
+        spans_to_chrome,
+        spans_to_jsonl,
+        top_slow_json,
+    )
 
-    schedule = None
-    if args.partition is not None:
-        from .chaos.faults import Fault, FaultSchedule
-
-        try:
-            start_str, dur_str = args.partition.split(":", 1)
-            start, duration = float(start_str), float(dur_str)
-        except ValueError:
-            print("--partition wants START:DUR in ms, e.g. 200:400",
-                  file=sys.stderr)
-            return 2
-        # Cut the first edge's server off from its quorum peers: for DQVL
-        # that severs oqs0 from every IQS node, so a read miss at oqs0
-        # must retransmit its validation rounds until the window heals.
-        if args.protocol in ("dqvl", "basic_dq"):
-            groups = (("oqs0",), tuple(f"iqs{k}" for k in range(args.edges)))
-        else:
-            groups = (("srv0",), tuple(f"srv{k}" for k in range(1, args.edges)))
-        schedule = FaultSchedule([
-            Fault.make("partition", start=start, duration=duration,
-                       groups=groups)
-        ])
+    try:
+        schedule = _partition_schedule(args)
+    except ValueError:
+        print("--partition wants START:DUR in ms, e.g. 200:400",
+              file=sys.stderr)
+        return 2
 
     try:
         config = _scenario_from_args(args).to_experiment(
@@ -766,6 +825,104 @@ def _cmd_trace(args) -> int:
         print(text)
     if args.top_slow > 0:
         print(format_top_slow(obs.tracer, n=args.top_slow), file=sys.stderr)
+    if args.top_slow_json:
+        doc = top_slow_json(obs.tracer, n=args.top_slow or 5)
+        with open(args.top_slow_json, "w") as fh:
+            fh.write(doc)
+        print(f"top-slow attribution written to {args.top_slow_json}",
+              file=sys.stderr)
+    if args.attribution:
+        print(format_attributions(obs.tracer, n=args.top_slow or 5),
+              file=sys.stderr)
+    return 0
+
+
+def _cmd_why(args) -> int:
+    from .obs import (
+        attribute_op,
+        build_index,
+        format_attribution,
+        format_budget,
+        latency_budget,
+        top_slow_json,
+    )
+    from .obs import trajectory as traj
+
+    history_path = args.history or traj.DEFAULT_HISTORY_PATH
+    if args.gate or args.record:
+        point = traj.measure_workloads()
+        status = 0
+        if args.gate:
+            regressions = traj.compare_to_last(
+                point, traj.load_history(history_path)
+            )
+            print(traj.format_regressions(regressions), end="")
+            status = 1 if regressions else 0
+        if args.record:
+            path = traj.record_point(point, history_path)
+            print(f"trajectory point recorded to {path}")
+        return status
+
+    try:
+        schedule = _partition_schedule(args)
+    except ValueError:
+        print("--partition wants START:DUR in ms, e.g. 200:400",
+              file=sys.stderr)
+        return 2
+    try:
+        config = _scenario_from_args(args).to_experiment(
+            locality=args.locality,
+            trace=True,
+            fault_schedule=schedule,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    result = run_response_time(config)
+    obs = result.obs
+    assert obs is not None
+    tracer = obs.tracer
+
+    index = build_index(tracer)
+    attributions = [attribute_op(index, op) for op in index.root_ops()]
+    if args.check_conservation:
+        worst = max(
+            (a.conservation_error for a in attributions), default=0.0
+        )
+        if worst > 1e-6:
+            print(f"conservation check FAILED: max error {worst} ms",
+                  file=sys.stderr)
+            return 1
+        print(
+            f"conservation check passed: {len(attributions)} ops, "
+            f"max |sum(phases) - latency| = {worst:g} ms"
+        )
+
+    slow = tracer.top_slow(args.top)
+    if slow:
+        print(f"top {len(slow)} slowest operations ({args.protocol}, "
+              f"seed {args.seed}):")
+        for op in slow:
+            print(format_attribution(attribute_op(index, op)))
+    else:
+        print("no finished operation spans recorded")
+
+    budget = latency_budget(attributions)
+    print()
+    print(format_budget(
+        budget, title=f"latency budget ({args.protocol}, seed {args.seed})"
+    ), end="")
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(top_slow_json(tracer, n=args.top))
+        print(f"top-slow attribution written to {args.json}",
+              file=sys.stderr)
+    if args.budget_out:
+        with open(args.budget_out, "w") as fh:
+            fh.write(budget.to_json())
+        print(f"budget table written to {args.budget_out}",
+              file=sys.stderr)
     return 0
 
 
@@ -792,6 +949,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "chaos": _cmd_chaos,
         "explore": _cmd_explore,
         "trace": _cmd_trace,
+        "why": _cmd_why,
         "protocols": _cmd_protocols,
     }
     return handlers[args.command](args)

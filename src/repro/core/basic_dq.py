@@ -110,7 +110,8 @@ class BasicIqsNode(Node):
             self._last_write_lc[obj] = lc
             self.logical_clock = self.logical_clock.merge(lc)
             self.writes_applied += 1
-        yield from self._ensure_owq_invalid(obj, lc, record_stats=fresh)
+        yield from self._ensure_owq_invalid(obj, lc, record_stats=fresh,
+                                            parent=msg.span_id)
         self.reply(msg, payload={"obj": obj, "lc": lc})
 
     def on_obj_renew(self, msg: Message) -> None:
@@ -149,7 +150,9 @@ class BasicIqsNode(Node):
         # and only an acknowledgement proves delivery (see DqvlIqsNode).
         return renew is None or ack > renew
 
-    def _ensure_owq_invalid(self, obj: str, lc: LogicalClock, record_stats: bool = True):
+    def _ensure_owq_invalid(self, obj: str, lc: LogicalClock,
+                            record_stats: bool = True,
+                            parent: Optional[int] = None):
         """Block until an OQS write quorum has acknowledged invalidation.
 
         Unlike DQVL there is no lease to wait out: if too many OQS nodes
@@ -159,6 +162,12 @@ class BasicIqsNode(Node):
         interval = self.config.inval_initial_timeout_ms
         ack_event = self.sim.future(name=f"{self.node_id}:ack:{obj}")
         sent_any = False
+        obs_tracer = self.obs_tracer
+        span = None
+        if obs_tracer is not None:
+            span = obs_tracer.span("invalidate", category="inval",
+                                   node=self.node_id, parent=parent,
+                                   key=obj, lc=str(lc))
 
         def on_inval_reply(future) -> None:
             if future.failed:
@@ -178,12 +187,18 @@ class BasicIqsNode(Node):
                         self.writes_through += 1
                     else:
                         self.writes_suppressed += 1
+                if span is not None:
+                    span.finish(
+                        outcome="through" if sent_any else "suppressed"
+                    )
                 return
             for j in self.oqs.nodes:
                 if j in invalid:
                     continue
                 self.invals_sent += 1
-                future = self.call(j, "inval", {"obj": obj, "lc": lc}, timeout=interval)
+                future = self.call(j, "inval", {"obj": obj, "lc": lc},
+                                   timeout=interval,
+                                   span=span.span_id if span is not None else None)
                 future.add_callback(on_inval_reply)
             sent_any = True
             yield any_of(self.sim, [ack_event, self.sim.sleep(interval)])
@@ -261,17 +276,24 @@ class BasicOqsNode(Node):
 
     def on_dq_read(self, msg: Message):
         obj: str = msg["obj"]
+        obs_tracer = self.obs_tracer
         if self.is_local_valid(obj):
             self.read_hits += 1
+            if obs_tracer is not None:
+                obs_tracer.event("read_hit", span=msg.span_id,
+                                 node=self.node_id, key=obj)
             value, lc = self.local_value(obj)
             self.reply(msg, payload={"obj": obj, "value": value, "lc": lc, "hit": True})
             return
         self.read_misses += 1
-        yield from self._renew_object(obj)
+        if obs_tracer is not None:
+            obs_tracer.event("read_miss", span=msg.span_id,
+                             node=self.node_id, key=obj)
+        yield from self._renew_object(obj, parent=msg.span_id)
         value, lc = self.local_value(obj)
         self.reply(msg, payload={"obj": obj, "value": value, "lc": lc, "hit": False})
 
-    def _renew_object(self, obj: str):
+    def _renew_object(self, obj: str, parent: Optional[int] = None):
         """Validate by QRPC-renewing from an IQS read quorum.
 
         Completion requires BOTH a full read quorum of replies and the
@@ -281,6 +303,12 @@ class BasicOqsNode(Node):
         clock.  (Stopping at mere local validity would let a single
         stale replica's reply satisfy the max-clock rule and serve an
         old value — a subtle unsound shortcut.)"""
+
+        obs_tracer = self.obs_tracer
+        span = None
+        if obs_tracer is not None:
+            span = obs_tracer.span("validate", category="lease",
+                                   node=self.node_id, parent=parent, key=obj)
 
         def request_for(target: str):
             self.renewals_sent += 1
@@ -298,6 +326,7 @@ class BasicOqsNode(Node):
             backoff=self.config.qrpc_backoff,
             max_timeout_ms=self.config.qrpc_max_timeout_ms,
             max_attempts=self.config.client_max_attempts,
+            span=span,
             resilience=self.resilience,
         )
         original_handler = call._make_reply_handler
@@ -313,7 +342,15 @@ class BasicOqsNode(Node):
             return handle
 
         call._make_reply_handler = handler_factory  # type: ignore[method-assign]
-        yield from call.run()
+        try:
+            yield from call.run()
+        except Exception:
+            if span is not None:
+                span.finish(status="failed")
+            raise
+        else:
+            if span is not None:
+                span.finish(status="ok")
 
     def _apply_renewal_reply(self, reply: Message) -> None:
         """Apply an object renewal: newer-or-equal clocks validate."""

@@ -907,13 +907,14 @@ class DqvlClient(Node):
             "resilience": self.resilience,
         }
 
-    def read(self, obj: str):
+    def read(self, obj: str, parent=None):
         """Client read: QRPC(OQS, READ); return the highest-clock reply."""
         start = self.sim.now
         tracer = self.obs_tracer
         span = None
         if tracer is not None:
-            span = tracer.span("read", category="op", node=self.node_id, key=obj)
+            span = tracer.span("read", category="op", node=self.node_id,
+                               key=obj, parent=parent)
         try:
             replies = yield from qrpc(
                 self, self.oqs, READ, "dq_read", {"obj": obj},
@@ -941,14 +942,15 @@ class DqvlClient(Node):
             hit=best.get("hit"),
         )
 
-    def write(self, obj: str, value: Any):
+    def write(self, obj: str, value: Any, parent=None):
         """Client write: read the highest logical clock from an IQS read
         quorum, advance it, and write to an IQS write quorum."""
         start = self.sim.now
         tracer = self.obs_tracer
         span = None
         if tracer is not None:
-            span = tracer.span("write", category="op", node=self.node_id, key=obj)
+            span = tracer.span("write", category="op", node=self.node_id,
+                               key=obj, parent=parent)
         try:
             replies = yield from qrpc(
                 self, self.iqs, READ, "lc_read", {},

@@ -114,6 +114,9 @@ class FrontEnd(Node):
             obs.metrics.histogram(
                 "fe.degraded_staleness_ms", STALENESS_BUCKETS_MS
             ).observe(age)
+            obs.tracer.event("degraded_serve", span=msg.span_id,
+                             node=self.node_id, key=obj,
+                             staleness_ms=age)
         self.reply(
             msg,
             payload={
@@ -139,7 +142,9 @@ class FrontEnd(Node):
             self.reply(msg, payload={"error": "circuit open, no local value"})
             return
         try:
-            result: ReadResult = yield from self.store_client.read(obj)
+            result: ReadResult = yield from self.store_client.read(
+                obj, parent=msg.span_id
+            )
         except Exception as exc:  # noqa: BLE001 - report to the app client
             if breaker is not None:
                 breaker.record_failure()
@@ -168,6 +173,10 @@ class FrontEnd(Node):
         breaker = self._write_breaker
         if breaker is not None and not breaker.allow():
             self.writes_shed += 1
+            obs = getattr(self.net, "obs", None)
+            if obs is not None:
+                obs.tracer.event("write_shed", span=msg.span_id,
+                                 node=self.node_id, key=obj)
             self.reply(
                 msg,
                 payload={
@@ -180,7 +189,7 @@ class FrontEnd(Node):
             return
         try:
             result: WriteResult = yield from self.store_client.write(
-                obj, msg["value"]
+                obj, msg["value"], parent=msg.span_id
             )
         except Exception as exc:  # noqa: BLE001
             if breaker is not None:
@@ -261,16 +270,30 @@ class AppClient(Node):
         """
         start = self.sim.now
         front_end = self.redirection.pick(self.sim.rng)
+        tracer = self.obs_tracer
+        span = None
+        if tracer is not None:
+            span = tracer.span("read", category="op", node=self.node_id,
+                               key=key, path="app", fe=front_end)
         try:
             reply = yield self.call(
-                front_end, "fe_read", {"obj": key}, timeout=self.request_timeout_ms
+                front_end, "fe_read", {"obj": key},
+                timeout=self.request_timeout_ms,
+                span=span.span_id if span is not None else None,
             )
         except RpcTimeout as exc:
+            if span is not None:
+                span.finish(status="timeout")
             raise OperationFailed("read", key, detail=str(exc))
         if "error" in reply.payload:
+            if span is not None:
+                span.finish(status="rejected")
             raise OperationFailed("read", key, detail=reply["error"])
         if reply.get("degraded"):
             self.degraded_reads_seen += 1
+        if span is not None:
+            span.finish(status="ok", hit=reply.get("hit"),
+                        degraded=bool(reply.get("degraded", False)))
         return ReadResult(
             key=key,
             value=reply["value"],
@@ -294,6 +317,11 @@ class AppClient(Node):
         """
         start = self.sim.now
         front_end = self.redirection.pick(self.sim.rng)
+        tracer = self.obs_tracer
+        span = None
+        if tracer is not None:
+            span = tracer.span("write", category="op", node=self.node_id,
+                               key=key, path="app", fe=front_end)
         sheds = 0
         while True:
             try:
@@ -302,13 +330,18 @@ class AppClient(Node):
                     "fe_write",
                     {"obj": key, "value": value},
                     timeout=self.request_timeout_ms,
+                    span=span.span_id if span is not None else None,
                 )
             except RpcTimeout as exc:
+                if span is not None:
+                    span.finish(status="timeout")
                 raise OperationFailed("write", key, detail=str(exc))
             if "shed" in reply.payload:
                 self.writes_shed_seen += 1
                 sheds += 1
                 if sheds > self.shed_retry_budget:
+                    if span is not None:
+                        span.finish(status="rejected", sheds=sheds)
                     raise OperationFailed(
                         "write", key,
                         detail=f"shed {sheds} times (throttled)",
@@ -317,7 +350,11 @@ class AppClient(Node):
                 continue
             break
         if "error" in reply.payload:
+            if span is not None:
+                span.finish(status="rejected")
             raise OperationFailed("write", key, detail=reply["error"])
+        if span is not None:
+            span.finish(status="ok", sheds=sheds)
         return WriteResult(
             key=key,
             value=value,

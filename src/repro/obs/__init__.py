@@ -9,7 +9,25 @@ the exporters in :mod:`repro.obs.export` render it as deterministic
 JSONL or a Perfetto-loadable Chrome trace.
 """
 
-from .export import format_top_slow, select_spans, spans_to_chrome, spans_to_jsonl
+from .budget import LatencyBudget, format_budget, latency_budget
+from .critpath import (
+    PHASES,
+    OpAttribution,
+    Segment,
+    TraceIndex,
+    attribute_op,
+    attribute_trace,
+    build_index,
+    format_attribution,
+    format_attributions,
+)
+from .export import (
+    format_top_slow,
+    select_spans,
+    spans_to_chrome,
+    spans_to_jsonl,
+    top_slow_json,
+)
 from .metrics import (
     DEPTH_BUCKETS,
     LATENCY_BUCKETS_MS,
@@ -44,4 +62,17 @@ __all__ = [
     "spans_to_chrome",
     "select_spans",
     "format_top_slow",
+    "top_slow_json",
+    "PHASES",
+    "Segment",
+    "OpAttribution",
+    "TraceIndex",
+    "build_index",
+    "attribute_op",
+    "attribute_trace",
+    "format_attribution",
+    "format_attributions",
+    "LatencyBudget",
+    "latency_budget",
+    "format_budget",
 ]

@@ -1,0 +1,112 @@
+"""Latency budget tables: phase × percentile, per operation group.
+
+A budget table aggregates the per-op phase attributions from
+:mod:`repro.obs.critpath` into one bounded histogram per (operation
+group, phase) — operation groups are ``read[hit]``, ``read[miss]``,
+``write``, ``app.read``, … (see :meth:`OpAttribution.group_key`) — plus
+one end-to-end histogram per group.  Percentiles use
+:meth:`Histogram.summary` (bucket-interpolated, error bounded by bucket
+width); means are exact (sum/count).
+
+Zero durations are observed too, so a phase's mean over a group is the
+true average contribution of that phase to that group's latency — the
+measured form of the paper's Figure 6 story: DQVL local-hit reads carry
+~zero ``quorum_wait`` while writes and renewals pay it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List
+
+from .critpath import PHASES, OpAttribution
+from .metrics import LATENCY_BUCKETS_MS, Histogram
+
+__all__ = [
+    "LatencyBudget",
+    "latency_budget",
+    "format_budget",
+]
+
+#: fine-grained lower end: many phases are sub-millisecond
+BUDGET_BUCKETS_MS = (
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0,
+    100.0, 200.0, 500.0, 1_000.0, 2_000.0, 5_000.0, 10_000.0,
+)
+
+
+class LatencyBudget:
+    """Per-group, per-phase latency histograms with a total per group."""
+
+    def __init__(self) -> None:
+        self._groups: Dict[str, Dict[str, Histogram]] = {}
+
+    def observe(self, att: OpAttribution) -> None:
+        group = self._groups.setdefault(att.group_key(), {})
+        phases = att.phases
+        for phase in PHASES:
+            hist = group.get(phase)
+            if hist is None:
+                hist = group[phase] = Histogram(BUDGET_BUCKETS_MS)
+            hist.observe(phases[phase])
+        total = group.get("total")
+        if total is None:
+            total = group["total"] = Histogram(LATENCY_BUCKETS_MS)
+        total.observe(att.total)
+
+    @property
+    def groups(self) -> Dict[str, Dict[str, Histogram]]:
+        return self._groups
+
+    def to_json_obj(self) -> Dict[str, Any]:
+        """Deterministic JSON-ready form: group → phase → summary."""
+        out: Dict[str, Any] = {}
+        for group in sorted(self._groups):
+            phases = self._groups[group]
+            entry: Dict[str, Any] = {}
+            for phase in (*PHASES, "total"):
+                hist = phases.get(phase)
+                if hist is not None:
+                    entry[phase] = hist.summary()
+            out[group] = entry
+        return out
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_json_obj(), sort_keys=True,
+                          separators=(",", ":")) + "\n"
+
+
+def latency_budget(attributions: Iterable[OpAttribution]) -> LatencyBudget:
+    """Fold *attributions* into a budget table."""
+    budget = LatencyBudget()
+    for att in attributions:
+        budget.observe(att)
+    return budget
+
+
+def format_budget(budget: LatencyBudget, title: str = "") -> str:
+    """Render the budget as a text table: one block per op group,
+    one row per phase that ever contributed, mean/p50/p95/p99 columns."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if not budget.groups:
+        lines.append("  (no attributed operations)")
+        return "\n".join(lines) + "\n"
+    header = f"  {'phase':<12} {'mean':>9} {'p50':>9} {'p95':>9} {'p99':>9}"
+    for group in sorted(budget.groups):
+        phases = budget.groups[group]
+        total = phases.get("total")
+        count = int(total.count) if total is not None else 0
+        lines.append(f"{group}  (n={count})")
+        lines.append(header)
+        for phase in (*PHASES, "total"):
+            hist = phases.get(phase)
+            if hist is None or (phase != "total" and hist.sum == 0.0):
+                continue
+            s = hist.summary()
+            lines.append(
+                f"  {phase:<12} {s['mean']:>9.3f} {s['p50']:>9.3f} "
+                f"{s['p95']:>9.3f} {s['p99']:>9.3f}"
+            )
+    return "\n".join(lines) + "\n"

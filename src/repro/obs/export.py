@@ -39,6 +39,7 @@ __all__ = [
     "spans_to_chrome",
     "select_spans",
     "format_top_slow",
+    "top_slow_json",
 ]
 
 _JSON_KW = {"sort_keys": True, "separators": (",", ":")}
@@ -63,19 +64,33 @@ def _sanitize_attrs(attrs: Optional[Dict[str, Any]]) -> Dict[str, Any]:
 
 
 class _MsgIdDenser:
-    """Remaps process-global message ids to dense per-export ids."""
+    """Remaps process-global message ids to dense per-export ids.
+
+    Every attribute key that carries a raw message id must be listed in
+    ``_KEYS``: ``msg`` (the message itself), ``re`` (the request a reply
+    correlates to) and ``req`` (the request behind a quorum reply event).
+    Leaving one raw would leak the process-global counter into exports
+    and break same-seed byte-identity across runs.
+    """
+
+    _KEYS = ("msg", "re", "req")
 
     def __init__(self) -> None:
         self._map: Dict[int, int] = {}
 
+    def _dense(self, raw: int) -> int:
+        dense = self._map.get(raw)
+        if dense is None:
+            dense = self._map[raw] = len(self._map) + 1
+        return dense
+
     def remap(self, attrs: Dict[str, Any]) -> Dict[str, Any]:
-        msg = attrs.get("msg")
-        if isinstance(msg, int):
-            dense = self._map.get(msg)
-            if dense is None:
-                dense = self._map[msg] = len(self._map) + 1
-            attrs = dict(attrs)
-            attrs["msg"] = dense
+        if not any(isinstance(attrs.get(k), int) for k in self._KEYS):
+            return attrs
+        attrs = dict(attrs)
+        for key in self._KEYS:
+            if isinstance(attrs.get(key), int):
+                attrs[key] = self._dense(attrs[key])
         return attrs
 
 
@@ -316,3 +331,23 @@ def format_top_slow(tracer: SpanTracer, n: int = 5) -> str:
                 f"dur={child.duration:.2f} ms"
             )
     return "\n".join(lines) + "\n"
+
+
+def top_slow_json(tracer: SpanTracer, n: int = 5) -> str:
+    """The top-slow ranking with full phase attribution, as sorted-key
+    JSON — byte-identical across same-seed runs.
+
+    Every field is derived from per-tracer span ids, simulated times and
+    node names; raw message ids never appear, so two runs with the same
+    seed serialise to identical bytes (the same contract as the timeline
+    exporters above).
+    """
+    from .critpath import attribute_op, build_index
+
+    index = build_index(tracer)
+    ops = []
+    for op in tracer.top_slow(n):
+        att = attribute_op(index, op)
+        ops.append(att.to_json_obj())
+    doc = {"version": 1, "top": len(ops), "ops": ops}
+    return json.dumps(doc, **_JSON_KW) + "\n"

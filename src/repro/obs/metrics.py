@@ -126,6 +126,49 @@ class Histogram:
                 return self.bounds[i] if i < len(self.bounds) else self.max
         return self.max
 
+    def quantile_interpolated(self, q: float) -> float:
+        """The q-quantile estimated by linear interpolation inside the
+        bucket that holds the q-th ranked sample.
+
+        Error bounds: the estimate is always within the width of the
+        bucket the sample landed in (``bounds[i] - bounds[i-1]``, or
+        ``max - bounds[-1]`` for the overflow bucket, where the true
+        observed maximum caps the interpolation).  Samples inside a
+        bucket are assumed uniformly spread; with the repo's geometric
+        bucket ladders the relative error is bounded by the bucket
+        growth factor, independent of sample count.
+        """
+        if not self.count:
+            return 0.0
+        rank = max(1, int(q * self.count + 0.5))
+        seen = 0
+        for i, n in enumerate(self.buckets):
+            if seen + n >= rank:
+                lo = self.bounds[i - 1] if i > 0 else 0.0
+                hi = self.bounds[i] if i < len(self.bounds) else max(self.max, lo)
+                # position of the ranked sample within this bucket
+                frac = (rank - seen) / n
+                return lo + (hi - lo) * frac
+            seen += n
+        return self.max
+
+    def summary(self) -> Dict[str, float]:
+        """Count, exact sum/mean/max, and interpolated p50/p95/p99.
+
+        Percentiles come from :meth:`quantile_interpolated`, so each is
+        accurate to within the width of its bucket (see there for the
+        bound); count, sum, mean and max are exact.
+        """
+        return {
+            "count": float(self.count),
+            "sum": self.sum,
+            "mean": self.mean,
+            "max": self.max,
+            "p50": self.quantile_interpolated(0.50),
+            "p95": self.quantile_interpolated(0.95),
+            "p99": self.quantile_interpolated(0.99),
+        }
+
     def snapshot(self) -> Dict[str, Any]:
         return {
             "type": "histogram",
@@ -211,6 +254,13 @@ class _NullInstrument:
 
     def quantile(self, q: float) -> float:
         return 0.0
+
+    def quantile_interpolated(self, q: float) -> float:
+        return 0.0
+
+    def summary(self) -> Dict[str, float]:
+        return {"count": 0.0, "sum": 0.0, "mean": 0.0, "max": 0.0,
+                "p50": 0.0, "p95": 0.0, "p99": 0.0}
 
     def snapshot(self) -> Dict[str, Any]:
         return {"type": "null"}

@@ -57,12 +57,20 @@ class KernelProbe:
         self.samples = 0
         self._ready_depth = metrics.histogram("kernel.ready_depth", DEPTH_BUCKETS)
         self._timer_depth = metrics.histogram("kernel.timer_depth", DEPTH_BUCKETS)
+        self._tombstones = metrics.gauge("kernel.timer_tombstones")
         sim.schedule(interval_ms, self._tick)
 
     def _tick(self) -> None:
         self.samples += 1
         self._ready_depth.observe(float(len(self.sim._ready)))
-        self._timer_depth.observe(float(self.sim.timer_depth))
+        # The timing wheel counts cancelled-but-unswept tombstones in
+        # timer_depth; report *live* timers so cancel-heavy keeper churn
+        # doesn't inflate the histogram, and track the peak tombstone
+        # backlog separately.
+        tombstones = getattr(self.sim, "_cancelled_pending", 0)
+        self._timer_depth.observe(float(max(0, self.sim.timer_depth - tombstones)))
+        if tombstones > self._tombstones.value:
+            self._tombstones.set(float(tombstones))
         if self.sim._ready or self.sim.timer_depth:
             self.sim.schedule(self.interval_ms, self._tick)
 
@@ -108,10 +116,17 @@ class Observability:
             self.metrics.histogram(
                 "net.message_bytes", SIZE_BUCKETS_BYTES, kind=message.kind
             ).observe(float(size))
-        self.tracer.event(
-            "msg_send", span=message.span_id, node=message.src,
-            kind=message.kind, msg=message.msg_id, dst=message.dst,
-        )
+        if message.reply_to is not None:
+            self.tracer.event(
+                "msg_send", span=message.span_id, node=message.src,
+                kind=message.kind, msg=message.msg_id, dst=message.dst,
+                re=message.reply_to,
+            )
+        else:
+            self.tracer.event(
+                "msg_send", span=message.span_id, node=message.src,
+                kind=message.kind, msg=message.msg_id, dst=message.dst,
+            )
 
     def on_deliver(self, message: Message) -> None:
         self.metrics.histogram(
@@ -131,6 +146,22 @@ class Observability:
 
     def on_duplicate(self, message: Message) -> None:
         self.metrics.counter("net.duplicated", kind=message.kind).inc()
+
+    # -- latency attribution ----------------------------------------------
+
+    def attributions(self):
+        """Per-op critical-path attributions for every traced root op
+        (see :mod:`repro.obs.critpath`)."""
+        from .critpath import attribute_trace
+
+        return attribute_trace(self.tracer)
+
+    def latency_budget(self):
+        """The run's phase × percentile budget table
+        (see :mod:`repro.obs.budget`)."""
+        from .budget import latency_budget
+
+        return latency_budget(self.attributions())
 
     # -- end-of-run scrape ------------------------------------------------
 

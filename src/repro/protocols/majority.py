@@ -80,12 +80,13 @@ class MajorityClient(Node):
         cfg.setdefault("prefer", self.prefer)
         return cfg
 
-    def read(self, obj: str):
+    def read(self, obj: str, parent=None):
         start = self.sim.now
         tracer = self.obs_tracer
         span = None
         if tracer is not None:
-            span = tracer.span("read", category="op", node=self.node_id, key=obj)
+            span = tracer.span("read", category="op", node=self.node_id,
+                               key=obj, parent=parent)
         try:
             replies = yield from qrpc(
                 self, self.system, READ, "mq_read", {"obj": obj},
@@ -109,12 +110,13 @@ class MajorityClient(Node):
             server=best.src,
         )
 
-    def write(self, obj: str, value: Any):
+    def write(self, obj: str, value: Any, parent=None):
         start = self.sim.now
         tracer = self.obs_tracer
         span = None
         if tracer is not None:
-            span = tracer.span("write", category="op", node=self.node_id, key=obj)
+            span = tracer.span("write", category="op", node=self.node_id,
+                               key=obj, parent=parent)
         try:
             replies = yield from qrpc(self, self.system, READ, "mq_lc", {},
                                       span=span, **self._config())

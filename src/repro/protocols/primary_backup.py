@@ -93,22 +93,37 @@ class PrimaryBackupClient(Node):
         self.rpc_timeout_ms = rpc_timeout_ms
         self.max_attempts = max_attempts
 
-    def _call_primary(self, kind: str, payload: dict):
+    def _call_primary(self, kind: str, payload: dict, span=None):
         attempts = 0
+        span_id = span.span_id if span is not None else None
         while True:
             attempts += 1
             try:
                 reply = yield self.call(
-                    self.primary_id, kind, payload, timeout=self.rpc_timeout_ms
+                    self.primary_id, kind, payload,
+                    timeout=self.rpc_timeout_ms, span=span_id,
                 )
                 return reply
             except RpcTimeout:
                 if self.max_attempts is not None and attempts >= self.max_attempts:
                     raise
 
-    def read(self, obj: str):
+    def read(self, obj: str, parent=None):
         start = self.sim.now
-        reply = yield from self._call_primary("pb_read", {"obj": obj})
+        tracer = self.obs_tracer
+        span = None
+        if tracer is not None:
+            span = tracer.span("read", category="op", node=self.node_id,
+                               key=obj, parent=parent)
+        try:
+            reply = yield from self._call_primary("pb_read", {"obj": obj},
+                                                  span=span)
+        except Exception:
+            if span is not None:
+                span.finish(status="rejected")
+            raise
+        if span is not None:
+            span.finish(status="ok", server=reply.src)
         return ReadResult(
             key=obj,
             value=reply["value"],
@@ -119,9 +134,23 @@ class PrimaryBackupClient(Node):
             server=reply.src,
         )
 
-    def write(self, obj: str, value: Any):
+    def write(self, obj: str, value: Any, parent=None):
         start = self.sim.now
-        reply = yield from self._call_primary("pb_write", {"obj": obj, "value": value})
+        tracer = self.obs_tracer
+        span = None
+        if tracer is not None:
+            span = tracer.span("write", category="op", node=self.node_id,
+                               key=obj, parent=parent)
+        try:
+            reply = yield from self._call_primary(
+                "pb_write", {"obj": obj, "value": value}, span=span
+            )
+        except Exception:
+            if span is not None:
+                span.finish(status="rejected")
+            raise
+        if span is not None:
+            span.finish(status="ok", lc=str(reply["lc"]))
         return WriteResult(
             key=obj,
             value=value,

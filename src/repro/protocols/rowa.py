@@ -74,13 +74,26 @@ class RowaClient(Node):
         self._lc_floor = lc
         return lc
 
-    def read(self, obj: str):
+    def read(self, obj: str, parent=None):
         start = self.sim.now
-        replies = yield from qrpc(
-            self, self.system, READ, "rowa_read", {"obj": obj}, **self._config()
-        )
+        tracer = self.obs_tracer
+        span = None
+        if tracer is not None:
+            span = tracer.span("read", category="op", node=self.node_id,
+                               key=obj, parent=parent)
+        try:
+            replies = yield from qrpc(
+                self, self.system, READ, "rowa_read", {"obj": obj},
+                span=span, **self._config()
+            )
+        except Exception:
+            if span is not None:
+                span.finish(status="rejected")
+            raise
         best = max(replies.values(), key=lambda r: r["lc"])
         self._lc_floor = self._lc_floor.merge(best["lc"])
+        if span is not None:
+            span.finish(status="ok", server=best.src)
         return ReadResult(
             key=obj,
             value=best["value"],
@@ -91,13 +104,26 @@ class RowaClient(Node):
             server=best.src,
         )
 
-    def write(self, obj: str, value: Any):
+    def write(self, obj: str, value: Any, parent=None):
         start = self.sim.now
         lc = self._next_lc()
-        yield from qrpc(
-            self, self.system, WRITE, "rowa_write",
-            {"obj": obj, "value": value, "lc": lc}, **self._config(),
-        )
+        tracer = self.obs_tracer
+        span = None
+        if tracer is not None:
+            span = tracer.span("write", category="op", node=self.node_id,
+                               key=obj, parent=parent)
+        try:
+            yield from qrpc(
+                self, self.system, WRITE, "rowa_write",
+                {"obj": obj, "value": value, "lc": lc},
+                span=span, **self._config(),
+            )
+        except Exception:
+            if span is not None:
+                span.finish(status="rejected")
+            raise
+        if span is not None:
+            span.finish(status="ok", lc=str(lc))
         return WriteResult(
             key=obj,
             value=value,

@@ -145,14 +145,16 @@ class RowaAsyncClient(Node):
         self.max_attempts = max_attempts
         self.fallback_replicas = list(fallback_replicas or [])
 
-    def _call_replica(self, kind: str, payload: dict):
+    def _call_replica(self, kind: str, payload: dict, span=None):
         attempts = 0
         target = self.replica_id
+        span_id = span.span_id if span is not None else None
         while True:
             attempts += 1
             try:
                 reply = yield self.call(
-                    target, kind, payload, timeout=self.rpc_timeout_ms
+                    target, kind, payload,
+                    timeout=self.rpc_timeout_ms, span=span_id,
                 )
                 return reply
             except RpcTimeout:
@@ -162,9 +164,22 @@ class RowaAsyncClient(Node):
                 if others:
                     target = self.sim.rng.choice(others)
 
-    def read(self, obj: str):
+    def read(self, obj: str, parent=None):
         start = self.sim.now
-        reply = yield from self._call_replica("ra_read", {"obj": obj})
+        tracer = self.obs_tracer
+        span = None
+        if tracer is not None:
+            span = tracer.span("read", category="op", node=self.node_id,
+                               key=obj, parent=parent)
+        try:
+            reply = yield from self._call_replica("ra_read", {"obj": obj},
+                                                  span=span)
+        except Exception:
+            if span is not None:
+                span.finish(status="rejected")
+            raise
+        if span is not None:
+            span.finish(status="ok", server=reply.src)
         return ReadResult(
             key=obj,
             value=reply["value"],
@@ -175,9 +190,23 @@ class RowaAsyncClient(Node):
             server=reply.src,
         )
 
-    def write(self, obj: str, value: Any):
+    def write(self, obj: str, value: Any, parent=None):
         start = self.sim.now
-        reply = yield from self._call_replica("ra_write", {"obj": obj, "value": value})
+        tracer = self.obs_tracer
+        span = None
+        if tracer is not None:
+            span = tracer.span("write", category="op", node=self.node_id,
+                               key=obj, parent=parent)
+        try:
+            reply = yield from self._call_replica(
+                "ra_write", {"obj": obj, "value": value}, span=span
+            )
+        except Exception:
+            if span is not None:
+                span.finish(status="rejected")
+            raise
+        if span is not None:
+            span.finish(status="ok", server=reply.src)
         return WriteResult(
             key=obj,
             value=value,

@@ -161,6 +161,12 @@ class QuorumCall:
         #: count toward a quorum completed after its recovery
         self._epoch = node._crash_count
         self._hedge_timer = None
+        #: current round's span (None when tracing is off) and the call
+        #: key — the first round's span id — shared by every round of
+        #: this invocation so the attribution analyzer can group replies
+        #: that raced across retransmission rounds back to one call
+        self._round_span = None
+        self._call_key: Optional[int] = None
 
     # -- default predicate ---------------------------------------------------
 
@@ -250,6 +256,13 @@ class QuorumCall:
                     broadcast=(self.sample_targets is None
                                and self.attempts > self.broadcast_after),
                 )
+            if round_span is not None:
+                if self._call_key is None:
+                    self._call_key = round_span.span_id
+                round_span.annotate(call=self._call_key)
+                round_span.event("round_start", interval_ms=interval,
+                                 attempt=self.attempts)
+            self._round_span = round_span
             call_span = round_span.span_id if round_span is not None else self.span
             # Iterate in sorted order: target sets are frozensets, whose
             # iteration order depends on the per-process string-hash
@@ -290,6 +303,8 @@ class QuorumCall:
                 interval = res.next_interval(interval, base, cap)
             else:
                 interval = min(interval * self.backoff, cap)
+            if round_span is not None:
+                round_span.event("backoff", next_interval_ms=interval)
 
     # -- hedging -------------------------------------------------------------
 
@@ -327,6 +342,8 @@ class QuorumCall:
                                     span=call_span)
             future.add_callback(self._make_reply_handler(target))
             res.hedges_sent += 1
+            if self._round_span is not None:
+                self._round_span.event("hedge", target=target, delay_ms=delay)
 
         # node.after is crash-epoch-guarded: a hedge armed before a crash
         # never fires on the recovered incarnation.
@@ -344,6 +361,10 @@ class QuorumCall:
         sent_at = self.node.sim.now
         round_interval = getattr(self, "_round_interval", self.initial_timeout_ms)
         res = self.resilience
+        # The round that sent this request: a reply always attributes to
+        # the round whose request produced it, even if it arrives while a
+        # later retransmission round is already underway.
+        round_span = self._round_span
 
         def handle(future: Future) -> None:
             if future.failed:
@@ -361,11 +382,19 @@ class QuorumCall:
                 res.detector.observe_reply(target, self.node.sim.now - sent_at)
             if target not in self.replies or self.resend_to_responders:
                 self.replies[target] = message
+            if round_span is not None:
+                round_span.event(
+                    "reply_k_of_n", target=target, msg=message.msg_id,
+                    req=message.reply_to, k=len(self.replies),
+                )
             if (
                 self._completion is not None
                 and not self._completion.done
                 and self.done(self.replies)
             ):
+                if round_span is not None:
+                    round_span.event("quorum_formed", k=len(self.replies),
+                                     by=target)
                 self._completion.resolve(None)
 
         return handle

@@ -188,3 +188,89 @@ class TestTrace:
     def test_trace_rejects_bad_partition_spec(self, capsys):
         assert main(["trace", "--partition", "nope"]) == 2
         assert "START:DUR" in capsys.readouterr().err
+
+
+class TestWhy:
+    def test_why_smoke_with_conservation(self, capsys):
+        assert main([
+            "why", "--ops", "8", "--clients", "2", "--edges", "3",
+            "--check-conservation",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "conservation check passed" in out
+        assert "slowest operations" in out
+        assert "latency budget" in out
+        assert "quorum_wait" in out or "net_request" in out
+
+    def test_why_writes_json_artifacts(self, tmp_path, capsys):
+        top = tmp_path / "top.json"
+        budget = tmp_path / "budget.json"
+        assert main([
+            "why", "--ops", "8", "--clients", "2", "--edges", "3",
+            "--json", str(top), "--budget-out", str(budget),
+        ]) == 0
+        top_doc = json.loads(top.read_text())
+        assert top_doc["version"] == 1 and top_doc["ops"]
+        budget_doc = json.loads(budget.read_text())
+        assert any("total" in phases for phases in budget_doc.values())
+        err = capsys.readouterr().err
+        assert "top-slow attribution written" in err
+        assert "budget table written" in err
+
+    def test_why_rejects_bad_partition_spec(self, capsys):
+        assert main(["why", "--partition", "nope"]) == 2
+        assert "START:DUR" in capsys.readouterr().err
+
+    def test_why_gate_record_gate_cycle(self, tmp_path, capsys):
+        history = tmp_path / "hist.json"
+        # empty history: nothing to regress against
+        assert main(["why", "--gate", "--history", str(history)]) == 0
+        assert "no phase regressions" in capsys.readouterr().out
+        # record a point, then gate against it: same code, no regression
+        assert main(["why", "--record", "--history", str(history)]) == 0
+        assert history.exists()
+        assert main(["why", "--gate", "--history", str(history)]) == 0
+        assert "no phase regressions" in capsys.readouterr().out
+
+    def test_why_gate_fails_on_regression(self, tmp_path, capsys):
+        history = tmp_path / "hist.json"
+        # a baseline claiming near-zero latency: any real measurement
+        # regresses against it
+        history.write_text(json.dumps({
+            "version": 1,
+            "points": [{"workloads": {
+                "dqvl": {"write": {"total": 0.001}},
+            }}],
+        }))
+        assert main(["why", "--gate", "--history", str(history)]) == 1
+        out = capsys.readouterr().out
+        assert "regression" in out
+        assert "dqvl/write/total" in out
+
+
+class TestTraceAttribution:
+    def test_trace_top_slow_json_deterministic(self, tmp_path, capsys):
+        def run(path):
+            assert main([
+                "trace", "--ops", "5", "--clients", "1", "--edges", "3",
+                "--export", "chrome", "--out", str(tmp_path / "t.json"),
+                "--top-slow-json", str(path),
+            ]) == 0
+            capsys.readouterr()
+            return path.read_text()
+
+        first = run(tmp_path / "a.json")
+        second = run(tmp_path / "b.json")
+        assert first == second
+        doc = json.loads(first)
+        assert doc["ops"] and all("phases" in op for op in doc["ops"])
+
+    def test_trace_attribution_flag_prints_phases(self, tmp_path, capsys):
+        assert main([
+            "trace", "--ops", "5", "--clients", "1", "--edges", "3",
+            "--export", "chrome", "--out", str(tmp_path / "t.json"),
+            "--attribution",
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "ms" in err
+        assert any(p in err for p in ("net_request", "quorum_wait", "server"))

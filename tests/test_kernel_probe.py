@@ -1,0 +1,108 @@
+"""Regression tests for the kernel depth sampler (repro.obs.probes).
+
+The timing wheel leaves cancelled timers in place as tombstones until a
+sweep collects them, and ``Simulator.timer_depth`` deliberately counts
+them (it is the wheel's occupancy, the right signal for sweep
+decisions).  The probe's histogram must NOT count them: a cancel-heavy
+keeper workload used to inflate ``kernel.timer_depth`` with dead
+entries.  Live depth goes to the histogram; the peak tombstone backlog
+is tracked separately in the ``kernel.timer_tombstones`` gauge.
+"""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.probes import KernelProbe
+from repro.sim import Simulator
+
+
+def _run_cancel_storm(sim, *, timers=400, horizon_ms=1000.0):
+    """Schedule a far-out timer block, then cancel almost all of it in
+    one burst shortly before the first probe tick — classic renewal
+    keeper churn."""
+    handles = [
+        sim.schedule(horizon_ms + i * 7.0, lambda: None)
+        for i in range(timers)
+    ]
+
+    def storm():
+        for handle in handles[: timers - 4]:
+            handle.cancel()
+
+    sim.schedule(50.0, storm)
+    # keep the run alive long enough for several probe samples
+    sim.schedule(horizon_ms / 2, lambda: None)
+
+
+class TestCancelStorm:
+    def test_histogram_sees_live_depth_not_tombstones(self):
+        sim = Simulator(seed=1)
+        metrics = MetricsRegistry()
+        probe = KernelProbe(sim, metrics, interval_ms=100.0)
+        _run_cancel_storm(sim)
+        sim.run()
+
+        assert probe.samples > 3
+        hist = metrics.find("kernel.timer_depth")
+        # Before the fix the storm inflated the high buckets: samples
+        # taken while ~396 tombstones awaited a sweep reported depths in
+        # the hundreds.  Live depth after the storm is just the probe's
+        # own timer plus the few survivors.
+        live_after_storm = hist.quantile(0.5)
+        assert live_after_storm <= 16.0, (
+            f"median sampled depth {live_after_storm} — tombstones leaked "
+            "into the live-depth histogram"
+        )
+        assert hist.max <= 401 + 4  # pre-storm samples still see real depth
+
+    def test_tombstone_gauge_records_peak_backlog(self):
+        sim = Simulator(seed=1)
+        metrics = MetricsRegistry()
+        KernelProbe(sim, metrics, interval_ms=100.0)
+        _run_cancel_storm(sim)
+        sim.run()
+
+        gauge = metrics.find("kernel.timer_tombstones")
+        assert gauge is not None
+        # the storm cancels 396 timers; a compaction sweep may collect
+        # some before the next sample, but the probe must have seen a
+        # substantial backlog at least once
+        assert gauge.value > 0
+
+    def test_quiet_workload_reports_zero_tombstones(self):
+        sim = Simulator(seed=1)
+        metrics = MetricsRegistry()
+        probe = KernelProbe(sim, metrics, interval_ms=100.0)
+        for i in range(10):
+            sim.schedule(100.0 * i + 5.0, lambda: None)
+        sim.run()
+
+        assert probe.samples > 0
+        assert metrics.find("kernel.timer_tombstones").value == 0.0
+
+    def test_probe_never_reports_negative_depth(self):
+        """Clamping: even if tombstone accounting ever over-counts
+        relative to timer_depth, the histogram only sees >= 0."""
+        sim = Simulator(seed=1)
+        metrics = MetricsRegistry()
+        probe = KernelProbe(sim, metrics, interval_ms=100.0)
+        _run_cancel_storm(sim, timers=50)
+        sim.run()
+        hist = metrics.find("kernel.timer_depth")
+        assert hist.count == probe.samples
+        assert hist.sum >= 0.0
+
+    def test_probe_still_stops_with_the_simulation(self):
+        """The reschedule condition keys off raw wheel occupancy, so the
+        probe keeps sampling while only tombstones remain (a sweep may
+        still run) but stops once the wheel truly drains."""
+        sim = Simulator(seed=1)
+        metrics = MetricsRegistry()
+        probe = KernelProbe(sim, metrics, interval_ms=100.0)
+        sim.schedule(250.0, lambda: None)
+        sim.run()
+        final_now = sim.now
+        assert probe.samples >= 2
+        # no self-perpetuating probe: the sim drained
+        assert sim.timer_depth == 0
+        assert final_now < 1000.0

@@ -1,0 +1,147 @@
+"""Chrome trace exporter under chaos: fault annotation tracks,
+cross-node flow arrows, and the byte-identity (golden double-run)
+contract while a partition is in force.
+
+Complements tests/test_obs.py: that file covers the exporter on toy
+tracers and fault-free runs; this one drives traced experiments through
+a fault schedule so spans genuinely straddle the partition window (the
+QRPC retries it forces are exactly the traffic whose flow arrows and
+round spans must still serialise deterministically).
+"""
+
+import json
+
+import pytest
+
+from repro.chaos.faults import Fault, FaultSchedule
+from repro.harness.experiment import ExperimentConfig, run_response_time
+from repro.obs import spans_to_chrome, spans_to_jsonl
+
+
+def _partition_schedule(start=40.0, duration=400.0):
+    """Cut the first OQS edge off from the inner quorum for *duration*
+    ms — long enough that in-flight renewals and writes retry inside
+    the window."""
+    return FaultSchedule([
+        Fault.make(
+            "partition", start=start, duration=duration,
+            groups=(("oqs0",), ("iqs0", "iqs1", "iqs2")),
+        ),
+    ])
+
+
+def _partitioned_run(seed=11):
+    config = ExperimentConfig(
+        protocol="dqvl", write_ratio=0.3, ops_per_client=8, warmup_ops=1,
+        num_clients=2, num_edges=3, seed=seed, trace=True,
+        fault_schedule=_partition_schedule(),
+    )
+    return run_response_time(config)
+
+
+@pytest.fixture(scope="module")
+def chrome_doc():
+    result = _partitioned_run()
+    faults = result.config.fault_schedule
+    return json.loads(spans_to_chrome(result.obs.tracer, faults=faults))
+
+
+def _events(doc, **match):
+    return [
+        e for e in doc["traceEvents"]
+        if all(e.get(k) == v for k, v in match.items())
+    ]
+
+
+class TestFaultAnnotationTrack:
+    def test_chaos_process_row_present(self, chrome_doc):
+        names = _events(chrome_doc, ph="M", name="process_name")
+        assert {"simulation", "chaos"} <= {
+            m["args"]["name"] for m in names
+        }
+
+    def test_fault_window_matches_schedule(self, chrome_doc):
+        windows = _events(chrome_doc, cat="fault")
+        assert len(windows) == 1
+        (w,) = windows
+        assert w["name"] == "partition"
+        assert w["ph"] == "X"
+        assert w["ts"] == 40_000 and w["dur"] == 400_000  # microseconds
+        assert ["oqs0"] in w["args"]["groups"]
+
+    def test_fault_track_has_its_own_thread_name(self, chrome_doc):
+        chaos_pid = _events(chrome_doc, cat="fault")[0]["pid"]
+        sim_pid = _events(chrome_doc, cat="op")[0]["pid"]
+        assert chaos_pid != sim_pid
+        thread_names = [
+            m["args"]["name"]
+            for m in _events(chrome_doc, ph="M", name="thread_name")
+            if m["pid"] == chaos_pid
+        ]
+        assert thread_names == ["partition"]
+
+
+class TestCrossNodeFlowArrows:
+    def test_rounds_flow_from_their_ops(self, chrome_doc):
+        starts = _events(chrome_doc, ph="s", cat="flow")
+        finishes = _events(chrome_doc, ph="f", cat="flow")
+        assert starts and len(starts) == len(finishes)
+        # arrows pair up by id, start on the parent's thread and land on
+        # the child's
+        by_id = {e["id"]: e for e in starts}
+        crossings = 0
+        for fin in finishes:
+            start = by_id[fin["id"]]
+            assert start["ts"] == fin["ts"]
+            if start["tid"] != fin["tid"]:
+                crossings += 1
+        # client ops live on client nodes, rounds/renewals on servers —
+        # at least one arrow must cross threads (i.e. nodes)
+        assert crossings > 0
+
+    def test_spans_straddle_the_partition_window(self, chrome_doc):
+        """The schedule is long enough that some op span overlaps the
+        fault window — the scenario the annotation track explains."""
+        window = _events(chrome_doc, cat="fault")[0]
+        w_start, w_end = window["ts"], window["ts"] + window["dur"]
+        ops = _events(chrome_doc, cat="op", ph="X")
+        overlapping = [
+            op for op in ops
+            if op["ts"] < w_end and op["ts"] + op["dur"] > w_start
+        ]
+        assert overlapping, "no op span overlaps the partition window"
+
+    def test_retry_rounds_recorded_inside_window(self, chrome_doc):
+        rounds = _events(chrome_doc, cat="qrpc", ph="X")
+        retries = [r for r in rounds if r["args"].get("attempt", 1) > 1]
+        assert retries, "partition produced no retry rounds"
+
+
+class TestGoldenDoubleRun:
+    def test_same_seed_chrome_and_jsonl_byte_identical(self):
+        def export(_):
+            result = _partitioned_run()
+            faults = result.config.fault_schedule
+            obs = result.obs
+            return (
+                spans_to_chrome(obs.tracer, faults=faults),
+                spans_to_jsonl(obs.tracer, faults=faults,
+                               metrics=obs.metrics),
+            )
+
+        first, second = export(0), export(1)
+        assert first[0] == second[0]
+        assert first[1] == second[1]
+
+    def test_no_raw_message_ids_leak_into_args(self, chrome_doc):
+        """Densified message ids are per-trace ordinals, so their json
+        values stay small even late in the run (raw ids are global and
+        would differ between runs that share a process)."""
+        msg_ids = [
+            e["args"]["msg"]
+            for e in _events(chrome_doc, cat="event")
+            if "msg" in e.get("args", {})
+        ]
+        assert msg_ids
+        assert sorted(set(msg_ids))[0] == 1
+        assert max(msg_ids) <= len(msg_ids)

@@ -1,0 +1,133 @@
+"""Unit tests for the perf-trajectory tracker (repro.obs.trajectory).
+
+The gate's contract: a phase regresses only when it grows by more than
+the relative threshold AND the absolute floor; shrinkage and brand-new
+workloads/groups/phases never fail; the history file is bounded and
+byte-stable under re-recording.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import trajectory as traj
+
+
+def _point(**phases):
+    """A one-workload, one-group trajectory point."""
+    return {"wl": {"write": dict(phases)}}
+
+
+class TestCompare:
+    def test_empty_history_passes(self):
+        assert traj.compare_to_last(_point(total=100.0), []) == []
+
+    def test_regression_needs_threshold_and_floor(self):
+        history = [{"workloads": _point(total=100.0, quorum_wait=0.1)}]
+        # +30% and +30ms: regression
+        regs = traj.compare_to_last(_point(total=130.0, quorum_wait=0.1),
+                                    history)
+        assert [(r.workload, r.group, r.phase) for r in regs] == [
+            ("wl", "write", "total")
+        ]
+        assert regs[0].before_ms == 100.0 and regs[0].after_ms == 130.0
+        assert regs[0].ratio == pytest.approx(1.3)
+        # +300% on a near-zero phase but only +0.3ms: under the floor
+        assert traj.compare_to_last(
+            _point(total=100.0, quorum_wait=0.4), history
+        ) == []
+        # +10ms on the total but only +10%: under the threshold
+        assert traj.compare_to_last(
+            _point(total=110.0, quorum_wait=0.1), history
+        ) == []
+
+    def test_improvements_and_disappearances_pass(self):
+        history = [{"workloads": _point(total=100.0, retry=20.0)}]
+        assert traj.compare_to_last(_point(total=50.0), history) == []
+
+    def test_new_workload_group_phase_pass(self):
+        history = [{"workloads": _point(total=100.0)}]
+        point = {
+            "wl": {
+                "write": {"total": 100.0, "backoff": 99.0},
+                "read[hit]": {"total": 500.0},
+            },
+            "new_wl": {"write": {"total": 9999.0}},
+        }
+        assert traj.compare_to_last(point, history) == []
+
+    def test_compares_against_last_point_only(self):
+        history = [
+            {"workloads": _point(total=50.0)},
+            {"workloads": _point(total=200.0)},
+        ]
+        assert traj.compare_to_last(_point(total=100.0), history) == []
+
+
+class TestHistoryFile:
+    def test_load_missing_returns_empty(self, tmp_path):
+        assert traj.load_history(str(tmp_path / "absent.json")) == []
+
+    def test_record_then_load_roundtrips(self, tmp_path):
+        path = str(tmp_path / "hist.json")
+        traj.record_point(_point(total=10.0), path, label="seed")
+        points = traj.load_history(path)
+        assert len(points) == 1
+        assert points[0]["label"] == "seed"
+        assert points[0]["workloads"] == _point(total=10.0)
+
+    def test_record_is_byte_stable(self, tmp_path):
+        path = str(tmp_path / "hist.json")
+        traj.record_point(_point(total=10.0), path)
+        first = open(path).read()
+        # identical history + identical point -> identical bytes modulo
+        # the appended entry; re-writing the same sequence reproduces it
+        path2 = str(tmp_path / "hist2.json")
+        traj.record_point(_point(total=10.0), path2)
+        assert first == open(path2).read()
+        doc = json.loads(first)
+        assert doc["version"] == 1
+
+    def test_history_is_bounded(self, tmp_path):
+        path = str(tmp_path / "hist.json")
+        for i in range(25):
+            traj.record_point(_point(total=float(i)), path, keep=20)
+        points = traj.load_history(path)
+        assert len(points) == 20
+        assert points[-1]["workloads"]["wl"]["write"]["total"] == 24.0
+        assert points[0]["workloads"]["wl"]["write"]["total"] == 5.0
+
+
+class TestMeasure:
+    def test_canonical_point_is_deterministic_and_complete(self):
+        small = ((("dqvl", "dqvl", 0.2)),)
+        first = traj.measure_workloads(small, ops=10)
+        second = traj.measure_workloads(small, ops=10)
+        assert first == second
+        groups = first["dqvl"]
+        assert "write" in groups
+        for phases in groups.values():
+            assert "total" in phases
+            # phase means conserve against the measured total
+            phase_sum = sum(v for k, v in phases.items() if k != "total")
+            assert phase_sum == pytest.approx(phases["total"], abs=1e-6)
+
+    def test_gate_passes_against_own_measurement(self, tmp_path):
+        small = ((("dqvl", "dqvl", 0.2)),)
+        point = traj.measure_workloads(small, ops=10)
+        path = str(tmp_path / "hist.json")
+        traj.record_point(point, path)
+        again = traj.measure_workloads(small, ops=10)
+        assert traj.compare_to_last(again, traj.load_history(path)) == []
+
+
+class TestFormat:
+    def test_no_regressions_message(self):
+        assert "no phase regressions" in traj.format_regressions([])
+
+    def test_regression_lines(self):
+        regs = [traj.Regression("dqvl", "write", "quorum_wait", 10.0, 15.0)]
+        text = traj.format_regressions(regs)
+        assert "dqvl/write/quorum_wait" in text
+        assert "10.000 ms -> 15.000 ms" in text
+        assert "+50%" in text
