@@ -41,6 +41,7 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -159,6 +160,56 @@ def build_parser() -> argparse.ArgumentParser:
     shard.add_argument("--no-cache", action="store_true",
                        help="bypass the sweep result cache")
     shard.add_argument("--json", action="store_true")
+
+    cdn = sub.add_parser(
+        "cdn",
+        help="edge-CDN scenario: aggregate client populations over a "
+             "multi-region PoP topology",
+    )
+    cdn.add_argument("--protocol", choices=sorted(PROTOCOL_DEPLOYERS),
+                     default="dqvl")
+    cdn.add_argument("--seed", type=int, default=0)
+    cdn.add_argument("--users", type=int, default=1_000_000,
+                     help="modeled users (cost scales with users x rate, "
+                          "never with users alone)")
+    cdn.add_argument("--rate", type=float, default=0.01,
+                     help="per-user requests per second")
+    cdn.add_argument("--regions", type=int, default=2)
+    cdn.add_argument("--pops-per-region", type=int, default=2)
+    cdn.add_argument("--write-ratio", type=float, default=0.05)
+    cdn.add_argument("--objects", type=int, default=100_000,
+                     help="key-universe size (lazy; nothing materialised)")
+    cdn.add_argument("--volumes", type=int, default=1_000)
+    cdn.add_argument("--zipf", type=float, default=0.9)
+    cdn.add_argument("--horizon-ms", type=float, default=2_000.0)
+    cdn.add_argument("--issuers-per-pop", type=int, default=8,
+                     help="bounded issuer coroutines per PoP")
+    cdn.add_argument("--queue-limit", type=int, default=256)
+    cdn.add_argument("--max-inflight", type=int, default=None,
+                     help="per-PoP front-end admission cap (throttling)")
+    cdn.add_argument("--balance", choices=["round_robin", "least_loaded"],
+                     default="least_loaded")
+    cdn.add_argument("--arrivals", choices=["poisson", "mmpp"],
+                     default="poisson")
+    cdn.add_argument("--flash-at-ms", type=float, default=None,
+                     help="flash-crowd start (default: none)")
+    cdn.add_argument("--flash-peak", type=float, default=5.0)
+    cdn.add_argument("--diurnal-amplitude", type=float, default=0.0)
+    cdn.add_argument("--diurnal-period-ms", type=float, default=60_000.0)
+    cdn.add_argument("--groups", type=int, default=1,
+                     help="population shards on the sweep process pool "
+                          "(1 = single simulation)")
+    cdn.add_argument("--workers", type=int, default=None)
+    cdn.add_argument("--no-cache", action="store_true")
+    cdn.add_argument("--trace", action="store_true",
+                     help="span tracing + per-phase latency budgets")
+    cdn.add_argument("--budget-out", default=None,
+                     help="write the phase-budget JSON artifact here "
+                          "(implies --trace)")
+    cdn.add_argument("--json-out", default=None,
+                     help="write the canonical result JSON here "
+                          "(same-seed runs are byte-identical)")
+    cdn.add_argument("--json", action="store_true")
 
     avail = sub.add_parser("availability", help="measured availability")
     avail.add_argument(
@@ -449,6 +500,105 @@ def _cmd_shard(args) -> int:
             [[k, v if v is not None else "-"] for k, v in payload.items()],
             title=f"{args.protocol}: sharded scenario "
                   f"({result.num_groups} groups)",
+        ))
+    return 0
+
+
+def _cmd_cdn(args) -> int:
+    from .edge.cdn import CdnScenarioConfig, run_cdn
+
+    try:
+        config = CdnScenarioConfig(
+            protocol=args.protocol,
+            seed=args.seed,
+            users=args.users,
+            ops_per_user_per_s=args.rate,
+            regions=args.regions,
+            pops_per_region=args.pops_per_region,
+            write_ratio=args.write_ratio,
+            num_objects=args.objects,
+            num_volumes=args.volumes,
+            zipf_s=args.zipf,
+            horizon_ms=args.horizon_ms,
+            issuers_per_pop=args.issuers_per_pop,
+            queue_limit=args.queue_limit,
+            fe_max_inflight=args.max_inflight,
+            balance=args.balance,
+            arrivals=args.arrivals,
+            flash_start_ms=args.flash_at_ms,
+            flash_peak_multiplier=args.flash_peak,
+            diurnal_amplitude=args.diurnal_amplitude,
+            diurnal_period_ms=args.diurnal_period_ms,
+            trace=args.trace or args.budget_out is not None,
+        )
+    except (ValueError, KeyError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.groups > 1:
+        from .harness.shards import run_sharded_cdn
+
+        result = run_sharded_cdn(
+            config,
+            num_groups=args.groups,
+            workers=args.workers,
+            cache=not args.no_cache,
+        )
+        stats = dict(result.stats)
+        budget_obj = [b for b in result.budgets if b is not None] or None
+        groups = result.num_groups
+    else:
+        single = run_cdn(config)
+        result = single
+        stats = single.stats.to_json_obj()
+        budget_obj = single.budget
+        groups = 1
+    s = result.summary
+    arrivals = stats.get("arrivals", 0)
+    payload = {
+        "protocol": args.protocol,
+        "users": args.users,
+        "rate_per_user_per_s": args.rate,
+        "pops": config.num_pops,
+        "groups": groups,
+        "arrivals": arrivals,
+        "completed": stats.get("completed", 0),
+        "failed": stats.get("failed", 0),
+        "dropped": stats.get("dropped", 0),
+        "queue_peak": stats.get("queue_peak", 0),
+        "read_ms": s.reads.mean,
+        "write_ms": s.writes.mean,
+        "p50_ms": s.overall.p50,
+        "p95_ms": s.overall.p95,
+        "p99_ms": s.overall.p99,
+        "availability": s.availability,
+        "events_processed": result.events_processed,
+        "events_per_arrival": (
+            result.events_processed / arrivals if arrivals else 0.0
+        ),
+        "sim_time_ms": result.sim_time_ms,
+    }
+    for key in ("reads_throttled", "writes_throttled", "writes_shed"):
+        if result.fe_counters.get(key):
+            payload[key] = result.fe_counters[key]
+    if args.json_out:
+        os.makedirs(os.path.dirname(args.json_out) or ".", exist_ok=True)
+        with open(args.json_out, "w") as fh:
+            fh.write(result.to_json())
+        print(f"canonical result written to {args.json_out}", file=sys.stderr)
+    if args.budget_out:
+        os.makedirs(os.path.dirname(args.budget_out) or ".", exist_ok=True)
+        with open(args.budget_out, "w") as fh:
+            json.dump(budget_obj, fh, sort_keys=True, indent=2)
+            fh.write("\n")
+        print(f"phase budget written to {args.budget_out}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(format_table(
+            ["metric", "value"],
+            [[k, v if v is not None else "-"] for k, v in payload.items()],
+            title=f"{args.protocol}: cdn scenario "
+                  f"({args.users:,} modeled users, {config.num_pops} PoPs)",
         ))
     return 0
 
@@ -943,6 +1093,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "figure": _cmd_figure,
         "run": _cmd_run,
         "shard": _cmd_shard,
+        "cdn": _cmd_cdn,
         "availability": _cmd_availability,
         "sweep": _cmd_sweep,
         "report": _cmd_report,

@@ -24,6 +24,23 @@ from .frontend import (
 )
 from .topology import EdgeDelayModel, EdgeTopology, EdgeTopologyConfig
 
+# cdn sits on top of both the workload and harness packages, which in
+# turn import edge submodules during their own initialisation — an eager
+# import here would be circular whenever this package is reached through
+# one of them.  Expose its names lazily instead (PEP 562): by the time a
+# caller touches repro.edge.CdnScenarioConfig, every package involved is
+# fully initialised.
+_CDN_NAMES = ("CdnResult", "CdnScenarioConfig", "run_cdn")
+
+
+def __getattr__(name):
+    if name in _CDN_NAMES:
+        from . import cdn
+
+        return getattr(cdn, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "EdgeTopology",
     "EdgeTopologyConfig",
@@ -41,4 +58,7 @@ __all__ = [
     "deploy_rowa",
     "deploy_rowa_async",
     "PROTOCOL_DEPLOYERS",
+    "CdnScenarioConfig",
+    "CdnResult",
+    "run_cdn",
 ]

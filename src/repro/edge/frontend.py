@@ -65,14 +65,29 @@ class FrontEnd(Node):
     * writes behind an open breaker are **shed** with a ``retry_after``
       hint instead of tying up the storage path, bounding the write
       pressure a partitioned edge keeps adding.
+
+    With ``max_inflight`` set, the front end additionally throttles by
+    admission control: once that many storage operations are executing
+    concurrently, further reads are rejected outright and further writes
+    shed with a ``retry_after`` hint — the per-PoP overload valve of the
+    CDN scenarios.
     """
 
     def __init__(self, sim: Simulator, network: Network, node_id: str,
                  store_client,
-                 resilience: Optional[ResilienceConfig] = None) -> None:
+                 resilience: Optional[ResilienceConfig] = None,
+                 max_inflight: Optional[int] = None,
+                 throttle_retry_after_ms: float = 50.0) -> None:
         super().__init__(sim, network, node_id)
         self.store_client = store_client
         self.resilience = resilience
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError("max_inflight must be at least 1")
+        self.max_inflight = max_inflight
+        self.throttle_retry_after_ms = throttle_retry_after_ms
+        self.inflight = 0
+        self.reads_throttled = 0
+        self.writes_throttled = 0
         self._read_breaker: Optional[CircuitBreaker] = None
         self._write_breaker: Optional[CircuitBreaker] = None
         if resilience is not None:
@@ -132,8 +147,16 @@ class FrontEnd(Node):
         )
         return True
 
+    def _at_capacity(self) -> bool:
+        return self.max_inflight is not None and self.inflight >= self.max_inflight
+
     def on_fe_read(self, msg: Message):
         obj: str = msg["obj"]
+        if self._at_capacity():
+            self.reads_throttled += 1
+            self.requests_failed += 1
+            self.reply(msg, payload={"error": "throttled: front end at capacity"})
+            return
         breaker = self._read_breaker
         if breaker is not None and not breaker.allow():
             if self._serve_degraded(msg, obj):
@@ -141,6 +164,7 @@ class FrontEnd(Node):
             self.requests_failed += 1
             self.reply(msg, payload={"error": "circuit open, no local value"})
             return
+        self.inflight += 1
         try:
             result: ReadResult = yield from self.store_client.read(
                 obj, parent=msg.span_id
@@ -153,6 +177,8 @@ class FrontEnd(Node):
             self.requests_failed += 1
             self.reply(msg, payload={"error": repr(exc)})
             return
+        finally:
+            self.inflight -= 1
         if breaker is not None:
             breaker.record_success()
             self._remember(obj, result.value, result.lc)
@@ -170,6 +196,17 @@ class FrontEnd(Node):
 
     def on_fe_write(self, msg: Message):
         obj: str = msg["obj"]
+        if self._at_capacity():
+            self.writes_throttled += 1
+            self.writes_shed += 1
+            self.reply(
+                msg,
+                payload={
+                    "shed": True,
+                    "retry_after_ms": self.throttle_retry_after_ms,
+                },
+            )
+            return
         breaker = self._write_breaker
         if breaker is not None and not breaker.allow():
             self.writes_shed += 1
@@ -187,6 +224,7 @@ class FrontEnd(Node):
                 },
             )
             return
+        self.inflight += 1
         try:
             result: WriteResult = yield from self.store_client.write(
                 obj, msg["value"], parent=msg.span_id
@@ -197,6 +235,8 @@ class FrontEnd(Node):
             self.requests_failed += 1
             self.reply(msg, payload={"error": repr(exc)})
             return
+        finally:
+            self.inflight -= 1
         if breaker is not None:
             breaker.record_success()
             # A completed write is as fresh as storage truth gets: it is

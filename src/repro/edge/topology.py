@@ -46,12 +46,23 @@ class EdgeTopologyConfig:
     processing_ms: float = 0.0
     #: uniform jitter added to every delay (enables reordering)
     jitter_ms: float = 0.0
+    #: number of geographic regions; edge servers are split into
+    #: contiguous blocks of ``num_edges / regions``.  ``None`` keeps the
+    #: paper's flat topology (every edge pair at ``server_wan_ms``).
+    regions: Optional[int] = None
+    #: edge-to-edge delay *within* a region (only with ``regions`` set)
+    intra_region_ms: float = 20.0
 
     def __post_init__(self) -> None:
         if self.num_edges < 1 or self.num_clients < 0:
             raise ValueError("topology needs at least one edge server")
         if min(self.lan_ms, self.client_wan_ms, self.server_wan_ms) < 0:
             raise ValueError("delays must be non-negative")
+        if self.regions is not None:
+            if not 1 <= self.regions <= self.num_edges:
+                raise ValueError("regions must be in [1, num_edges]")
+            if self.intra_region_ms < 0:
+                raise ValueError("intra-region delay must be non-negative")
 
 
 class EdgeDelayModel(DelayModel):
@@ -61,12 +72,16 @@ class EdgeDelayModel(DelayModel):
         self.config = config
         self.host_of: Dict[str, str] = {}
         self.home_edge: Dict[str, str] = {}
+        self.region_of: Dict[str, int] = {}
 
     def place(self, node_id: str, host: str) -> None:
         self.host_of[node_id] = host
 
     def set_home(self, client_host: str, edge_host: str) -> None:
         self.home_edge[client_host] = edge_host
+
+    def set_region(self, host: str, region: int) -> None:
+        self.region_of[host] = region
 
     def _host_delay(self, host_a: str, host_b: str) -> float:
         if host_a == host_b:
@@ -83,6 +98,10 @@ class EdgeDelayModel(DelayModel):
             if self.home_edge.get(client_host) == edge_host:
                 return self.config.lan_ms
             return self.config.client_wan_ms
+        region_a = self.region_of.get(host_a)
+        region_b = self.region_of.get(host_b)
+        if region_a is not None and region_a == region_b:
+            return self.config.intra_region_ms
         return self.config.server_wan_ms
 
     def delay(self, src: str, dst: str, rng) -> float:
@@ -105,6 +124,13 @@ class EdgeTopology:
     Host naming: edge servers are ``edge0..edge{n-1}``; application
     client machines are ``client0..client{m-1}``.  Client *c*'s home
     (closest) edge server is ``edge{c % num_edges}``.
+
+    With ``config.regions`` set, edge servers are grouped into
+    contiguous regional blocks (``edge0..`` in region 0, the next block
+    in region 1, ...): edges in the same region talk at
+    ``intra_region_ms``, cross-region pairs at ``server_wan_ms`` — the
+    multi-PoP CDN geometry (PoPs within a metro area vs. across
+    continents).
     """
 
     def __init__(self, sim: Simulator, config: Optional[EdgeTopologyConfig] = None) -> None:
@@ -114,6 +140,9 @@ class EdgeTopology:
         self.network = Network(sim, self.delay_model)
         for c in range(self.config.num_clients):
             self.delay_model.set_home(self.client_host(c), self.edge_host(c % self.config.num_edges))
+        if self.config.regions is not None:
+            for k in range(self.config.num_edges):
+                self.delay_model.set_region(self.edge_host(k), self.region_of_edge(k))
 
     # -- host names -----------------------------------------------------------
 
@@ -130,6 +159,12 @@ class EdgeTopology:
     def home_edge_index(self, c: int) -> int:
         """Index of client *c*'s closest edge server."""
         return c % self.config.num_edges
+
+    def region_of_edge(self, k: int) -> int:
+        """Region index of edge server *k* (0 when regions are off)."""
+        if self.config.regions is None:
+            return 0
+        return k * self.config.regions // self.config.num_edges
 
     @property
     def edge_hosts(self) -> List[str]:

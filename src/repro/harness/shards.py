@@ -30,9 +30,14 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
+from typing import TYPE_CHECKING
+
 from .experiment import ExperimentConfig, ExperimentResult
 from .metrics import HistorySummary, LatencyStats
-from .sweeps import ResponsePoint, run_sweep
+from .sweeps import CdnPoint, ResponsePoint, run_sweep
+
+if TYPE_CHECKING:  # imported lazily at runtime (cdn imports this package)
+    from ..edge.cdn import CdnResult, CdnScenarioConfig
 
 __all__ = [
     "ShardedResult",
@@ -40,6 +45,11 @@ __all__ = [
     "collect_shard",
     "merge_points",
     "run_sharded",
+    "CdnShardedResult",
+    "shard_cdn_configs",
+    "collect_cdn_shard",
+    "merge_cdn_points",
+    "run_sharded_cdn",
 ]
 
 
@@ -195,3 +205,170 @@ def run_sharded(
         cache_path=cache_path,
     )
     return merge_points(base, points)  # type: ignore[arg-type]
+
+
+# ---------------------------------------------------------------------------
+# sharded edge-CDN scenarios
+# ---------------------------------------------------------------------------
+#
+# A CDN population shards even more naturally than closed-loop clients:
+# splitting a Poisson process of rate N·λ into G independent processes
+# of rate N·λ/G is an *exact* decomposition (superposition property),
+# so each group simulates the full multi-PoP topology driven by its
+# share of the modeled users.  As with closed-loop shards, groups run
+# as independent simulations and the merge is deterministic — a pure
+# function of (base config, num_groups), independent of worker count.
+
+def shard_cdn_configs(base: "CdnScenarioConfig", num_groups: int) -> List["CdnScenarioConfig"]:
+    """Split a CDN scenario's population into per-group scenarios.
+
+    Users are divided evenly (sizes differ by at most one); every group
+    keeps the full regions × PoPs topology and gets a seed derived from
+    ``(base.seed, group)``.  ``num_groups`` is clamped to the user count.
+    """
+    if num_groups < 1:
+        raise ValueError("num_groups must be positive")
+    num_groups = min(num_groups, base.users)
+    sizes = [
+        base.users // num_groups + (1 if g < base.users % num_groups else 0)
+        for g in range(num_groups)
+    ]
+    return [
+        dataclasses.replace(
+            base,
+            users=size,
+            seed=_group_seed(base.seed, g),
+            deploy_kwargs=dict(base.deploy_kwargs),
+        )
+        for g, size in enumerate(sizes)
+    ]
+
+
+def collect_cdn_shard(result: "CdnResult") -> Dict[str, Any]:
+    """Sweep ``collect`` hook: raw samples for the exact merge."""
+    history = result.history
+    hits = [op.hit for op in history.reads() if op.ok and op.hit is not None]
+    return {
+        "read_ms": [op.latency for op in history.reads() if op.ok],
+        "write_ms": [op.latency for op in history.writes() if op.ok],
+        "hits_true": sum(1 for h in hits if h),
+        "hits_known": len(hits),
+        "failures": len(history.failures()),
+        "total_ops": len(history.ops),
+    }
+
+
+@dataclass
+class CdnShardedResult:
+    """Merged outcome of one sharded CDN scenario."""
+
+    config: "CdnScenarioConfig"
+    num_groups: int
+    summary: HistorySummary
+    #: population counters summed across groups (queue_peak: max)
+    stats: Dict[str, Any]
+    #: front-end counters summed across groups
+    fe_counters: Dict[str, int]
+    #: summed kernel events across group simulations
+    events_processed: int
+    #: max over groups — the scenario's critical-path simulated time
+    sim_time_ms: float
+    #: merged phase-budget table is not meaningful across groups; the
+    #: per-group budgets are kept instead (None entries when trace off)
+    budgets: List[Optional[Dict[str, Any]]] = field(default_factory=list)
+    points: List["CdnPoint"] = field(default_factory=list)
+
+    def to_json_obj(self) -> Dict[str, Any]:
+        """Canonical reduced form for byte comparison."""
+        return {
+            "config": dataclasses.asdict(self.config),
+            "num_groups": self.num_groups,
+            "summary": dataclasses.asdict(self.summary),
+            "stats": {k: self.stats[k] for k in sorted(self.stats)},
+            "fe_counters": {
+                k: self.fe_counters[k] for k in sorted(self.fe_counters)
+            },
+            "events_processed": self.events_processed,
+            "sim_time_ms": self.sim_time_ms,
+            "budgets": self.budgets,
+        }
+
+    def to_json(self) -> str:
+        import json
+
+        return json.dumps(self.to_json_obj(), sort_keys=True,
+                          separators=(",", ":"), default=repr) + "\n"
+
+
+def merge_cdn_points(base: "CdnScenarioConfig",
+                     points: List["CdnPoint"]) -> CdnShardedResult:
+    """Exact deterministic merge of per-group CDN points."""
+    read_ms: List[float] = []
+    write_ms: List[float] = []
+    hits_true = hits_known = failures = total_ops = 0
+    stats: Dict[str, Any] = {}
+    fe_counters: Dict[str, int] = {}
+    events = 0
+    sim_time_ms = 0.0
+    budgets: List[Optional[Dict[str, Any]]] = []
+    for point in points:
+        extras = point.extras
+        read_ms.extend(extras["read_ms"])
+        write_ms.extend(extras["write_ms"])
+        hits_true += extras["hits_true"]
+        hits_known += extras["hits_known"]
+        failures += extras["failures"]
+        total_ops += extras["total_ops"]
+        for key, value in point.stats.items():
+            if key == "queue_peak":
+                stats[key] = max(stats.get(key, 0), value)
+            else:
+                stats[key] = stats.get(key, 0) + value
+        for key, value in point.fe_counters.items():
+            fe_counters[key] = fe_counters.get(key, 0) + value
+        events += point.events_processed
+        sim_time_ms = max(sim_time_ms, point.sim_time_ms)
+        budgets.append(point.budget)
+    summary = HistorySummary(
+        reads=LatencyStats.from_samples(read_ms),
+        writes=LatencyStats.from_samples(write_ms),
+        overall=LatencyStats.from_samples(read_ms + write_ms),
+        read_hit_rate=(hits_true / hits_known) if hits_known else None,
+        failures=failures,
+        availability=1.0 - (failures / total_ops) if total_ops else 1.0,
+    )
+    return CdnShardedResult(
+        config=base,
+        num_groups=len(points),
+        summary=summary,
+        stats=stats,
+        fe_counters=fe_counters,
+        events_processed=events,
+        sim_time_ms=sim_time_ms,
+        budgets=budgets,
+        points=points,
+    )
+
+
+def run_sharded_cdn(
+    base: "CdnScenarioConfig",
+    *,
+    num_groups: int = 8,
+    workers: Optional[int] = None,
+    cache: bool = True,
+    cache_path: Optional[str] = None,
+) -> CdnShardedResult:
+    """Run one CDN scenario as ``num_groups`` independent population
+    shards on the sweep process pool and merge the results.
+
+    The merged result is a pure function of ``(base, num_groups)``.
+    """
+    configs = shard_cdn_configs(base, num_groups)
+    points = run_sweep(
+        configs,
+        collect=collect_cdn_shard,
+        workers=workers,
+        cache=cache,
+        cache_path=cache_path,
+    )
+    return merge_cdn_points(base, points)  # type: ignore[arg-type]

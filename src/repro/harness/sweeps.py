@@ -53,6 +53,7 @@ __all__ = [
     "ResponsePoint",
     "AvailabilityPoint",
     "ChaosPoint",
+    "CdnPoint",
     "run_sweep",
     "clear_cache",
     "sweep_workers",
@@ -119,6 +120,22 @@ class AvailabilityPoint:
 
 
 @dataclass
+class CdnPoint:
+    """Reduced result of one edge-CDN scenario (see :mod:`repro.edge.cdn`)."""
+
+    config: Any  # CdnScenarioConfig (imported lazily; see _config_kind)
+    summary: HistorySummary
+    stats: Dict[str, Any]
+    region_stats: List[Dict[str, Any]]
+    fe_counters: Dict[str, int]
+    events_processed: int
+    sim_time_ms: float
+    budget: Optional[Dict[str, Any]] = None
+    extras: Dict[str, Any] = field(default_factory=dict)
+    from_cache: bool = False
+
+
+@dataclass
 class ChaosPoint:
     """Reduced result of one chaos run (see :mod:`repro.chaos.campaign`)."""
 
@@ -167,15 +184,20 @@ def code_version() -> str:
 
 
 def _config_kind(config: SweepConfig) -> str:
+    # Imported lazily: repro.edge.cdn itself imports this package.
+    from ..edge.cdn import CdnScenarioConfig
+
     if isinstance(config, ExperimentConfig):
         return "response"
     if isinstance(config, AvailabilitySimConfig):
         return "availability"
     if isinstance(config, ChaosRunConfig):
         return "chaos"
+    if isinstance(config, CdnScenarioConfig):
+        return "cdn"
     raise TypeError(
-        f"run_sweep takes ExperimentConfig, AvailabilitySimConfig or "
-        f"ChaosRunConfig, got {type(config).__name__}"
+        f"run_sweep takes ExperimentConfig, AvailabilitySimConfig, "
+        f"ChaosRunConfig or CdnScenarioConfig, got {type(config).__name__}"
     )
 
 
@@ -251,6 +273,21 @@ def _compute_point(config: SweepConfig,
             "trace_chrome": result.trace_chrome,
             "extras": collect(result) if collect is not None else {},
         }
+    if _config_kind(config) == "cdn":
+        from ..edge.cdn import run_cdn
+
+        result = run_cdn(config)
+        return {
+            "kind": "cdn",
+            "summary": dataclasses.asdict(result.summary),
+            "stats": result.stats.to_json_obj(),
+            "region_stats": [s.to_json_obj() for s in result.region_stats],
+            "fe_counters": result.fe_counters,
+            "events_processed": result.events_processed,
+            "sim_time_ms": result.sim_time_ms,
+            "budget": result.budget,
+            "extras": collect(result) if collect is not None else {},
+        }
     result = run_availability_sim(config)
     return {
         "kind": "availability",
@@ -279,6 +316,27 @@ def _rebuild_point(config: SweepConfig, data: Dict[str, Any],
             messages_per_request=data["messages_per_request"],
             total_requests=data["total_requests"],
             sim_time_ms=data["sim_time_ms"],
+            extras=data.get("extras") or {},
+            from_cache=from_cache,
+        )
+    if data["kind"] == "cdn":
+        s = data["summary"]
+        return CdnPoint(
+            config=config,
+            summary=HistorySummary(
+                reads=LatencyStats(**s["reads"]),
+                writes=LatencyStats(**s["writes"]),
+                overall=LatencyStats(**s["overall"]),
+                read_hit_rate=s["read_hit_rate"],
+                failures=s["failures"],
+                availability=s["availability"],
+            ),
+            stats=data["stats"],
+            region_stats=data["region_stats"],
+            fe_counters=data["fe_counters"],
+            events_processed=data["events_processed"],
+            sim_time_ms=data["sim_time_ms"],
+            budget=data.get("budget"),
             extras=data.get("extras") or {},
             from_cache=from_cache,
         )

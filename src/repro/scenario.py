@@ -187,6 +187,79 @@ class ScenarioConfig:
         kwargs.update(overrides)
         return McRunConfig(**kwargs)
 
+    def to_cdn(self, **overrides: Any):
+        """Build a :class:`~repro.edge.cdn.CdnScenarioConfig`.
+
+        Field mapping: ``num_keys`` becomes ``num_objects``;
+        ``time_limit_ms`` becomes the arrival ``horizon_ms``; a set
+        ``num_edges`` becomes a single-region topology with that many
+        PoPs (pass ``regions``/``pops_per_region`` overrides for
+        multi-region geometries).  ``num_clients``/``ops_per_client``
+        describe closed-loop fleets and have no aggregate-population
+        equivalent — they are ignored, as ``to_experiment`` ignores
+        ``num_keys``.  The lease/QRPC/resilience fields map into
+        ``deploy_kwargs`` for DQVL-family protocols, with the scenario's
+        volume map preserved.  Every other
+        :class:`CdnScenarioConfig` field (``users``, ``arrivals``,
+        ``flash_start_ms``, ...) is reachable via *overrides*.
+        """
+        from .core.config import DqvlConfig
+        from .core.volumes import HashVolumeMap
+        from .edge.cdn import CdnScenarioConfig
+
+        if self.weaken:
+            raise ValueError(
+                "cdn scenarios have no weakener hook; use to_chaos()/to_mc() "
+                f"for weakened runs (weaken={self.weaken!r})"
+            )
+        kwargs = self._set_kwargs("protocol", "seed", "write_ratio", "jitter_ms")
+        if self.num_keys is not UNSET:
+            kwargs["num_objects"] = self.num_keys
+        if self.time_limit_ms is not UNSET:
+            kwargs["horizon_ms"] = self.time_limit_ms
+        if self.num_edges is not UNSET and not (
+            {"regions", "pops_per_region"} & overrides.keys()
+        ):
+            kwargs["regions"] = 1
+            kwargs["pops_per_region"] = self.num_edges
+        lease_kwargs = self._set_kwargs("lease_length_ms", "max_drift")
+        qrpc_kwargs = self._set_kwargs(
+            "qrpc_initial_timeout_ms", "qrpc_max_timeout_ms"
+        )
+        wants_resilience = self.resilience is not UNSET and bool(self.resilience)
+        wants_deploy = (
+            lease_kwargs or qrpc_kwargs or wants_resilience
+            or self.client_max_attempts is not UNSET
+        ) and "deploy_kwargs" not in overrides
+        if wants_deploy:
+            protocol = kwargs.get("protocol", "dqvl")
+            if protocol not in ("dqvl", "basic_dq"):
+                raise ValueError(
+                    "lease_length_ms/max_drift/client_max_attempts/resilience"
+                    "/qrpc timeouts only map to DQVL-family deployments, not "
+                    f"{protocol!r}; pass deploy_kwargs explicitly"
+                )
+            num_volumes = overrides.get(
+                "num_volumes",
+                CdnScenarioConfig.__dataclass_fields__["num_volumes"].default,
+            )
+            deploy: dict = {}
+            if lease_kwargs or qrpc_kwargs:
+                deploy["config"] = DqvlConfig(
+                    proactive_renewal=(protocol == "dqvl"),
+                    volume_map=HashVolumeMap(num_volumes),
+                    **lease_kwargs, **qrpc_kwargs,
+                )
+            if self.client_max_attempts is not UNSET:
+                deploy["client_max_attempts"] = self.client_max_attempts
+            if wants_resilience:
+                from .resilience import ResilienceConfig
+
+                deploy["resilience"] = ResilienceConfig()
+            kwargs["deploy_kwargs"] = deploy
+        kwargs.update(overrides)
+        return CdnScenarioConfig(**kwargs)
+
     def to_experiment(self, **overrides: Any):
         """Build an :class:`~repro.harness.experiment.ExperimentConfig`.
 

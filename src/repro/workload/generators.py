@@ -23,12 +23,15 @@ closed-loop against any protocol client.
 from __future__ import annotations
 
 import itertools
+from bisect import bisect_left
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 __all__ = [
     "OpSpec",
     "KeyChooser",
+    "LazyKeys",
+    "KeyUniverse",
     "UniformKeyChooser",
     "ZipfKeyChooser",
     "PartitionedKeyChooser",
@@ -48,6 +51,62 @@ class OpSpec:
     kind: str  # "read" | "write"
     key: str
     value: Optional[str] = None  # writes only
+
+
+# ---------------------------------------------------------------------------
+# key populations
+# ---------------------------------------------------------------------------
+
+
+class LazyKeys(Sequence[str]):
+    """Marker base for key populations generated on demand.
+
+    Choosers copy plain lists defensively; a :class:`LazyKeys` sequence
+    is kept as-is, so a million-object population costs O(1) memory.
+    Subclasses must provide ``__len__`` and integer ``__getitem__``
+    (which is all ``random.Random.choice`` needs).
+    """
+
+    def __getitem__(self, index: int) -> str:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+
+class KeyUniverse(LazyKeys):
+    """A contiguous, lazily formatted key population.
+
+    Key *i* is ``fmt.format(start + i)`` — the scalable key-universe API
+    behind the CDN scenarios (thousands of volumes, millions of objects)
+    and the TPC-W per-customer key ranges.  Nothing is materialised:
+    indexing formats one string.
+    """
+
+    def __init__(self, size: int, fmt: str = "obj:{:08d}", start: int = 0) -> None:
+        if size < 1:
+            raise ValueError("key universe must not be empty")
+        self.size = size
+        self.fmt = fmt
+        self.start = start
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __getitem__(self, index: int) -> str:
+        if index < 0:
+            index += self.size
+        if not 0 <= index < self.size:
+            raise IndexError(index)
+        return self.fmt.format(self.start + index)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"KeyUniverse({self.size}, {self.fmt!r}, start={self.start})"
+
+
+def _own_keys(keys: Sequence[str]) -> Sequence[str]:
+    """Defensive copy for plain sequences; lazy populations as-is."""
+    return keys if isinstance(keys, LazyKeys) else list(keys)
 
 
 # ---------------------------------------------------------------------------
@@ -78,10 +137,31 @@ class UniformKeyChooser(KeyChooser):
     def __init__(self, keys: Sequence[str]) -> None:
         if not keys:
             raise ValueError("key population must not be empty")
-        self.keys = list(keys)
+        self.keys = _own_keys(keys)
 
     def pick(self, rng) -> str:
         return rng.choice(self.keys)
+
+
+#: Zipf CDFs memoized by (population size, exponent): thousands of
+#: per-PoP choosers over the same key universe share one CDF instead of
+#: recomputing (and re-storing) an O(n) table each.  Bounded FIFO so a
+#: sweep over many population sizes cannot grow it without limit.
+_ZIPF_CDF_CACHE: Dict[Tuple[int, float], List[float]] = {}
+_ZIPF_CDF_CACHE_MAX = 32
+
+
+def _zipf_cdf(n: int, s: float) -> List[float]:
+    key = (n, float(s))
+    cdf = _ZIPF_CDF_CACHE.get(key)
+    if cdf is None:
+        weights = [1.0 / (rank**s) for rank in range(1, n + 1)]
+        total = sum(weights)
+        cdf = list(itertools.accumulate(w / total for w in weights))
+        while len(_ZIPF_CDF_CACHE) >= _ZIPF_CDF_CACHE_MAX:
+            _ZIPF_CDF_CACHE.pop(next(iter(_ZIPF_CDF_CACHE)))
+        _ZIPF_CDF_CACHE[key] = cdf
+    return cdf
 
 
 class ZipfKeyChooser(KeyChooser):
@@ -89,7 +169,8 @@ class ZipfKeyChooser(KeyChooser):
 
     Rank r (1-based) has probability proportional to ``1 / r**s`` —
     the classic web-object popularity model.  Sampling uses the inverse
-    CDF over precomputed cumulative weights.
+    CDF over cumulative weights, shared across instances via
+    :func:`_zipf_cdf` (keyed by size and exponent).
     """
 
     def __init__(self, keys: Sequence[str], s: float = 0.8) -> None:
@@ -97,22 +178,18 @@ class ZipfKeyChooser(KeyChooser):
             raise ValueError("key population must not be empty")
         if s < 0:
             raise ValueError("zipf exponent must be non-negative")
-        self.keys = list(keys)
+        self.keys = _own_keys(keys)
         self.s = s
-        weights = [1.0 / (rank**s) for rank in range(1, len(self.keys) + 1)]
-        total = sum(weights)
-        self._cdf: List[float] = list(itertools.accumulate(w / total for w in weights))
+        self._cdf = _zipf_cdf(len(self.keys), s)
 
     def pick(self, rng) -> str:
         x = rng.random()
-        lo, hi = 0, len(self._cdf) - 1
-        while lo < hi:
-            mid = (lo + hi) // 2
-            if self._cdf[mid] < x:
-                lo = mid + 1
-            else:
-                hi = mid
-        return self.keys[lo]
+        index = bisect_left(self._cdf, x)
+        # Float rounding can leave cdf[-1] fractionally below 1.0; a draw
+        # in that tail must clamp to the last key, never index past it.
+        if index >= len(self.keys):
+            index = len(self.keys) - 1
+        return self.keys[index]
 
 
 class PartitionedKeyChooser(KeyChooser):

@@ -47,13 +47,17 @@ def closed_loop(
         Shared history; failures are recorded with ``ok=False``.
     think_time_ms:
         Optional pause between operations (0 = paper's closed loop).
+        Think time separates *consecutive* operations: there is no
+        trailing pause after the final op, and none once the deadline
+        has passed — a deadline-bounded run finishes with its last
+        operation, not ``think_time_ms`` later.
     deadline_ms:
         Stop issuing operations once the simulated clock passes this.
 
     Returns the number of operations actually issued.
     """
     issued = 0
-    for _ in range(num_ops):
+    for remaining in range(num_ops, 0, -1):
         if deadline_ms is not None and sim.now >= deadline_ms:
             break
         spec = next(stream)
@@ -72,6 +76,10 @@ def closed_loop(
                 getattr(client, "node_id", "client"),
                 value=spec.value if spec.kind != READ else None,
             )
-        if think_time_ms > 0:
+        if (
+            think_time_ms > 0
+            and remaining > 1
+            and (deadline_ms is None or sim.now < deadline_ms)
+        ):
             yield sim.sleep(think_time_ms)
     return issued

@@ -24,7 +24,13 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from .generators import BernoulliOpStream, PartitionedKeyChooser, ZipfKeyChooser
+from .generators import (
+    BernoulliOpStream,
+    KeyUniverse,
+    LazyKeys,
+    PartitionedKeyChooser,
+    ZipfKeyChooser,
+)
 
 __all__ = [
     "TPCW_WRITE_RATIO",
@@ -47,6 +53,34 @@ def profile_keys(num_customers: int) -> List[str]:
     return [profile_key(c) for c in range(num_customers)]
 
 
+class _ForeignProfiles(LazyKeys):
+    """Every customer profile key *except* one client's own range.
+
+    Index *i* maps to customer ``i`` below the excluded range and to
+    ``i + span`` above it, so foreign customers are sampled lazily by
+    index instead of materialising the (num_clients × customers) key
+    list per client — constructing a 10k-client fleet is O(1) per
+    client rather than O(num_clients² × customers_per_client).
+    """
+
+    def __init__(self, total: int, own_start: int, span: int) -> None:
+        self.total = total
+        self.own_start = own_start
+        self.span = span
+
+    def __len__(self) -> int:
+        return self.total - self.span
+
+    def __getitem__(self, index: int) -> str:
+        n = len(self)
+        if index < 0:
+            index += n
+        if not 0 <= index < n:
+            raise IndexError(index)
+        customer = index if index < self.own_start else index + self.span
+        return profile_key(customer)
+
+
 def tpcw_profile_stream(
     rng,
     client_index: int,
@@ -67,12 +101,10 @@ def tpcw_profile_stream(
     if not 0 <= client_index < num_clients:
         raise ValueError("client_index out of range")
     own_start = client_index * customers_per_client
-    own = [profile_key(c) for c in range(own_start, own_start + customers_per_client)]
-    foreign = [
-        profile_key(c)
-        for c in range(num_clients * customers_per_client)
-        if not own_start <= c < own_start + customers_per_client
-    ]
+    own = KeyUniverse(customers_per_client, fmt="profile:{:06d}", start=own_start)
+    foreign = _ForeignProfiles(
+        num_clients * customers_per_client, own_start, customers_per_client
+    )
     chooser = PartitionedKeyChooser(
         own_keys=own,
         foreign_keys=foreign,

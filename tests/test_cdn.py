@@ -1,0 +1,311 @@
+"""Tests for the edge-CDN scenario family (repro.edge.cdn) and its
+sharded execution (repro.harness.shards).
+
+Small configs keep these fast: the properties under test (determinism,
+kernel-cost scaling, throttling, shard merging) do not depend on the
+population being large — that is the point of the aggregate model.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.edge.cdn import CdnResult, CdnScenarioConfig, run_cdn
+from repro.edge.topology import EdgeTopology, EdgeTopologyConfig
+from repro.harness.shards import (
+    merge_cdn_points,
+    run_sharded_cdn,
+    shard_cdn_configs,
+)
+from repro.harness.sweeps import CdnPoint, run_sweep
+from repro.scenario import ScenarioConfig
+from repro.sim import Simulator
+
+
+def _small(**overrides) -> CdnScenarioConfig:
+    """A cheap scenario: majority protocol (no renewal keepers), a few
+    hundred modeled users, compressed horizon."""
+    kwargs = dict(
+        protocol="majority",
+        seed=3,
+        regions=2,
+        pops_per_region=2,
+        users=200,
+        ops_per_user_per_s=0.5,
+        write_ratio=0.1,
+        num_objects=100,
+        num_volumes=8,
+        issuers_per_pop=4,
+        queue_limit=64,
+        horizon_ms=400.0,
+        drain_ms=30_000.0,
+    )
+    kwargs.update(overrides)
+    return CdnScenarioConfig(**kwargs)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(KeyError):
+            CdnScenarioConfig(protocol="nope")
+        with pytest.raises(ValueError):
+            CdnScenarioConfig(users=0)
+        with pytest.raises(ValueError):
+            CdnScenarioConfig(arrivals="weird")
+        with pytest.raises(ValueError):
+            CdnScenarioConfig(balance="random")
+
+    def test_region_users_even_split(self):
+        config = _small(users=10, regions=3)
+        assert [config.region_users(r) for r in range(3)] == [4, 3, 3]
+        assert config.num_pops == 6
+
+
+class TestRegionTopology:
+    def test_intra_vs_cross_region_delay(self):
+        sim = Simulator(seed=0)
+        config = EdgeTopologyConfig(
+            num_edges=4, num_clients=0, regions=2, intra_region_ms=20.0
+        )
+        topo = EdgeTopology(sim, config)
+        assert [topo.region_of_edge(k) for k in range(4)] == [0, 0, 1, 1]
+        dm = topo.delay_model
+        assert dm._host_delay(topo.edge_host(0), topo.edge_host(1)) == 20.0
+        assert (
+            dm._host_delay(topo.edge_host(0), topo.edge_host(2))
+            == config.server_wan_ms
+        )
+
+    def test_flat_topology_unchanged_without_regions(self):
+        sim = Simulator(seed=0)
+        config = EdgeTopologyConfig(num_edges=4, num_clients=0)
+        topo = EdgeTopology(sim, config)
+        assert topo.region_of_edge(3) == 0
+        dm = topo.delay_model
+        assert (
+            dm._host_delay(topo.edge_host(0), topo.edge_host(1))
+            == config.server_wan_ms
+        )
+
+    def test_region_validation(self):
+        with pytest.raises(ValueError):
+            EdgeTopologyConfig(num_edges=4, num_clients=0, regions=5)
+
+
+class TestRunCdn:
+    def test_basic_run_completes_ops(self):
+        result = run_cdn(_small())
+        assert isinstance(result, CdnResult)
+        assert result.stats.arrivals > 10
+        assert result.stats.completed > 10
+        assert result.stats.completed == len(
+            [op for op in result.history.ops if op.ok]
+        )
+        assert result.summary.overall.count == result.stats.completed
+        # Every front end participated (least-loaded balancing + one
+        # pool per PoP).
+        assert result.fe_counters["requests_served"] > 0
+        assert result.sim_time_ms >= 400.0
+
+    def test_same_seed_byte_identical(self):
+        config = _small()
+        a = run_cdn(config)
+        b = run_cdn(dataclasses.replace(config))
+        assert a.to_json() == b.to_json()
+
+    def test_different_seed_differs(self):
+        a = run_cdn(_small(seed=3))
+        b = run_cdn(_small(seed=4))
+        assert a.to_json() != b.to_json()
+
+    def test_kernel_cost_tracks_arrivals_not_users(self):
+        """1000x more modeled users at 1000x lower per-user rate is the
+        same aggregate process: identical events, byte-identical trace
+        modulo the user count in the echoed config."""
+        a = run_cdn(_small(users=200, ops_per_user_per_s=0.5))
+        b = run_cdn(_small(users=200_000, ops_per_user_per_s=0.0005))
+        assert a.events_processed == b.events_processed
+        assert a.stats.arrivals == b.stats.arrivals
+        assert a.summary == b.summary
+
+    def test_open_loop_latency_includes_queue_wait(self):
+        """An under-provisioned PoP (1 issuer, majority RTTs) must show
+        queueing in the recorded latency, not just service time."""
+        result = run_cdn(_small(
+            issuers_per_pop=1, users=600, ops_per_user_per_s=1.0,
+            horizon_ms=300.0,
+        ))
+        assert result.stats.queue_wait_ms > 0.0
+        assert result.summary.overall.p99 > result.summary.overall.p50
+
+    def test_flash_crowd_adds_arrivals(self):
+        base = run_cdn(_small())
+        flash = run_cdn(_small(
+            flash_start_ms=100.0, flash_peak_multiplier=4.0,
+            flash_ramp_ms=50.0, flash_hold_ms=200.0, flash_decay_ms=50.0,
+        ))
+        assert flash.stats.arrivals > base.stats.arrivals
+
+    def test_mmpp_arrivals_run(self):
+        result = run_cdn(_small(arrivals="mmpp", mmpp_burst_multiplier=3.0,
+                                mmpp_dwell_normal_ms=100.0,
+                                mmpp_dwell_burst_ms=100.0))
+        assert result.stats.completed > 0
+
+    def test_front_end_throttling(self):
+        """A tiny admission cap under load rejects work and the failures
+        land in the history (availability < 1)."""
+        result = run_cdn(_small(
+            fe_max_inflight=1, users=800, ops_per_user_per_s=1.0,
+            horizon_ms=300.0,
+        ))
+        throttled = (
+            result.fe_counters["reads_throttled"]
+            + result.fe_counters["writes_throttled"]
+        )
+        assert throttled > 0
+        assert result.stats.failed > 0
+        assert result.summary.availability < 1.0
+
+    def test_dqvl_protocol_with_volume_leases(self):
+        result = run_cdn(_small(
+            protocol="dqvl", users=100, ops_per_user_per_s=0.5,
+            horizon_ms=300.0,
+        ))
+        assert result.stats.completed > 0
+        # DQVL reads report hit/miss; the majority baseline does not.
+        assert result.summary.read_hit_rate is not None
+
+    def test_trace_produces_budget(self):
+        result = run_cdn(_small(trace=True, users=100, horizon_ms=200.0))
+        assert result.budget  # non-empty group -> phase -> summary table
+
+    def test_events_per_arrival_property(self):
+        result = run_cdn(_small())
+        assert result.events_per_arrival == (
+            result.events_processed / result.stats.arrivals
+        )
+
+
+class TestSharding:
+    def test_shard_configs_split(self):
+        base = _small(users=10, seed=42)
+        shards = shard_cdn_configs(base, 4)
+        assert [c.users for c in shards] == [3, 3, 2, 2]
+        assert len({c.seed for c in shards}) == 4
+        assert all(c.seed != base.seed for c in shards)
+        assert all(c.regions == base.regions for c in shards)
+        # Deterministic plan: same base -> same shards.
+        assert shards == shard_cdn_configs(base, 4)
+
+    def test_shard_clamps_to_users(self):
+        assert len(shard_cdn_configs(_small(users=3), 8)) == 3
+        with pytest.raises(ValueError):
+            shard_cdn_configs(_small(), 0)
+
+    def test_sharded_run_merges_deterministically(self, tmp_path):
+        base = _small(users=100, ops_per_user_per_s=0.5, horizon_ms=300.0)
+        a = run_sharded_cdn(base, num_groups=2, workers=1, cache=False,
+                            cache_path=str(tmp_path / "c1"))
+        b = run_sharded_cdn(base, num_groups=2, workers=2, cache=False,
+                            cache_path=str(tmp_path / "c2"))
+        assert a.to_json() == b.to_json()
+        assert a.num_groups == 2
+        # Merged counters are the exact sums over group points.
+        assert a.stats["arrivals"] == sum(
+            p.stats["arrivals"] for p in a.points
+        )
+        assert a.events_processed == sum(
+            p.events_processed for p in a.points
+        )
+        assert a.summary.overall.count == sum(
+            p.summary.overall.count for p in a.points
+        )
+        assert a.fe_counters["requests_served"] == sum(
+            p.fe_counters["requests_served"] for p in a.points
+        )
+
+    def test_merge_queue_peak_is_max(self):
+        base = _small(users=4)
+        shards = shard_cdn_configs(base, 2)
+        points = []
+        for i, config in enumerate(shards):
+            result = run_cdn(config)
+            points.append(CdnPoint(
+                config=config,
+                summary=result.summary,
+                stats=dict(result.stats.to_json_obj(), queue_peak=5 + i),
+                region_stats=[s.to_json_obj() for s in result.region_stats],
+                fe_counters=result.fe_counters,
+                events_processed=result.events_processed,
+                sim_time_ms=result.sim_time_ms,
+                extras={"read_ms": [], "write_ms": [], "hits_true": 0,
+                        "hits_known": 0, "failures": 0, "total_ops": 0},
+            ))
+        merged = merge_cdn_points(base, points)
+        assert merged.stats["queue_peak"] == 6
+        assert merged.sim_time_ms == max(p.sim_time_ms for p in points)
+
+
+class TestSweepIntegration:
+    def test_cdn_point_cache_round_trip(self, tmp_path):
+        config = _small(users=60, horizon_ms=200.0)
+        cache_path = str(tmp_path / "cache")
+        first = run_sweep([config], workers=1, cache=True,
+                          cache_path=cache_path)
+        second = run_sweep([config], workers=1, cache=True,
+                           cache_path=cache_path)
+        assert isinstance(first[0], CdnPoint)
+        assert not first[0].from_cache
+        assert second[0].from_cache
+        assert second[0].summary == first[0].summary
+        assert second[0].stats == first[0].stats
+        assert second[0].fe_counters == first[0].fe_counters
+        assert second[0].events_processed == first[0].events_processed
+
+
+class TestScenarioToCdn:
+    def test_field_mapping(self):
+        scenario = ScenarioConfig(
+            protocol="majority", seed=9, write_ratio=0.2, num_keys=500,
+            time_limit_ms=1_500.0, num_edges=3, jitter_ms=1.0,
+        )
+        config = scenario.to_cdn(users=1_000)
+        assert config.protocol == "majority"
+        assert config.seed == 9
+        assert config.write_ratio == 0.2
+        assert config.num_objects == 500
+        assert config.horizon_ms == 1_500.0
+        assert config.jitter_ms == 1.0
+        assert config.regions == 1 and config.pops_per_region == 3
+        assert config.users == 1_000
+
+    def test_overrides_win_over_num_edges(self):
+        scenario = ScenarioConfig(num_edges=3)
+        config = scenario.to_cdn(regions=2, pops_per_region=2)
+        assert config.regions == 2 and config.pops_per_region == 2
+
+    def test_lease_fields_map_to_deploy_kwargs(self):
+        scenario = ScenarioConfig(protocol="dqvl", lease_length_ms=5_000.0)
+        config = scenario.to_cdn(num_volumes=16)
+        dqvl = config.deploy_kwargs["config"]
+        assert dqvl.lease_length_ms == 5_000.0
+        assert dqvl.proactive_renewal is True
+        assert dqvl.volume_map.num_volumes == 16
+
+    def test_lease_fields_reject_non_dqvl(self):
+        scenario = ScenarioConfig(protocol="majority", lease_length_ms=750.0)
+        with pytest.raises(ValueError):
+            scenario.to_cdn()
+
+    def test_weaken_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(weaken="drop_renewals").to_cdn()
+
+    def test_round_trips_into_run(self):
+        config = ScenarioConfig(protocol="majority", seed=1).to_cdn(
+            users=80, ops_per_user_per_s=0.5, regions=1, pops_per_region=2,
+            horizon_ms=200.0, num_objects=50, issuers_per_pop=2,
+        )
+        result = run_cdn(config)
+        assert result.stats.completed > 0

@@ -63,6 +63,46 @@ class TestKeyChoosers:
         with pytest.raises(ValueError):
             ZipfKeyChooser(["a"], s=-1.0)
 
+    def test_zipf_tail_draw_never_indexes_past_end(self):
+        """A uniform draw in the float-rounding tail above cdf[-1] must
+        clamp to the last key, not raise IndexError."""
+        keys = [f"k{i}" for i in range(7)]
+        chooser = ZipfKeyChooser(keys, s=0.9)
+
+        class TailRng:
+            def random(self):
+                return 1.0 - 1e-16  # above cdf[-1] when rounding bites
+
+        assert chooser.pick(TailRng()) == "k6"
+        # And bisect agrees with the old hand-rolled search everywhere.
+        rng = random.Random(11)
+        assert all(chooser.pick(rng) in keys for _ in range(2000))
+
+    def test_zipf_cdf_memoized_across_instances(self):
+        from repro.workload.generators import _zipf_cdf
+
+        keys = [f"k{i}" for i in range(100)]
+        a = ZipfKeyChooser(keys, s=0.8)
+        b = ZipfKeyChooser(list(keys), s=0.8)
+        assert a._cdf is b._cdf  # shared, not recomputed
+        assert a._cdf is _zipf_cdf(100, 0.8)
+        assert ZipfKeyChooser(keys, s=1.2)._cdf is not a._cdf
+
+    def test_lazy_key_universe_matches_materialized_draws(self):
+        from repro.workload.generators import KeyUniverse
+
+        universe = KeyUniverse(50, fmt="obj:{:04d}")
+        materialized = [f"obj:{i:04d}" for i in range(50)]
+        assert list(universe) == materialized
+        # Same RNG stream -> same choices on lazy and materialized.
+        picks_lazy = [random.Random(3).choice(universe) for _ in range(1)]
+        picks_list = [random.Random(3).choice(materialized) for _ in range(1)]
+        assert picks_lazy == picks_list
+        rng_a, rng_b = random.Random(4), random.Random(4)
+        assert [rng_a.choice(universe) for _ in range(100)] == [
+            rng_b.choice(materialized) for _ in range(100)
+        ]
+
     def test_partitioned_affinity(self):
         own = ["own1", "own2"]
         foreign = ["f1", "f2"]
@@ -172,6 +212,40 @@ class TestTpcw:
         with pytest.raises(ValueError):
             tpcw_profile_stream(random.Random(0), 5, num_clients=3)
 
+    def test_foreign_profiles_skip_own_range(self):
+        from repro.workload.tpcw import _ForeignProfiles
+
+        foreign = _ForeignProfiles(total=20, own_start=5, span=5)
+        assert len(foreign) == 15
+        customers = [int(foreign[i].split(":")[1]) for i in range(15)]
+        assert customers == list(range(0, 5)) + list(range(10, 20))
+        with pytest.raises(IndexError):
+            foreign[15]
+        assert foreign[-1] == profile_key(19)
+
+    def test_fleet_construction_stays_lazy(self):
+        """10k client streams must not materialize per-client foreign
+        key lists (the old O(num_clients^2 x customers) blowup)."""
+        import tracemalloc
+
+        num_clients = 10_000
+        tracemalloc.start()
+        streams = [
+            tpcw_profile_stream(
+                random.Random(c), c, num_clients=num_clients,
+                customers_per_client=50,
+            )
+            for c in range(0, num_clients, 100)  # 100 clients of the fleet
+        ]
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        # The old code built 100 lists of ~500k keys (~several GB); the
+        # lazy version allocates a few small objects per stream.
+        assert peak < 5_000_000
+        # And the streams still draw valid keys from the full universe.
+        picks = [next(streams[0]).key for _ in range(200)]
+        assert all(p.startswith("profile:") for p in picks)
+
 
 class TestClosedLoop:
     class FakeClient:
@@ -227,7 +301,26 @@ class TestClosedLoop:
         sim.run_process(
             closed_loop(sim, client, stream, history, num_ops=5, think_time_ms=90.0)
         )
-        assert sim.now == 5 * 100.0
+        # 5 ops x 10ms separated by 4 think times: no trailing sleep.
+        assert sim.now == 5 * 10.0 + 4 * 90.0
+
+    def test_no_think_sleep_past_deadline(self):
+        """Once the deadline passes, the loop must not sleep again."""
+        sim = Simulator(seed=0)
+        client = self.FakeClient(sim, latency=10.0)
+        stream = BernoulliOpStream(random.Random(0), FixedKeyChooser("k"), 0.0)
+        history = History()
+        issued = sim.run_process(
+            closed_loop(
+                sim, client, stream, history,
+                num_ops=100, think_time_ms=90.0, deadline_ms=105.0,
+            )
+        )
+        # Ops at 0 and 100 (gap = 10 latency + 90 think); the second op
+        # finishes at 110 >= deadline, so the run ends there — no 90ms
+        # trailing think.
+        assert issued == 2
+        assert sim.now == 110.0
 
     def test_failures_recorded_not_raised(self):
         sim = Simulator(seed=0)
