@@ -3,6 +3,7 @@
 from .availability import (
     default_grid_shape,
     dqvl_availability,
+    dqvl_system_availability,
     grid_protocol_availability,
     grid_read_availability,
     grid_write_availability,
@@ -31,6 +32,7 @@ __all__ = [
     "grid_write_availability",
     "default_grid_shape",
     "dqvl_availability",
+    "dqvl_system_availability",
     "majority_protocol_availability",
     "grid_protocol_availability",
     "rowa_availability",

@@ -28,6 +28,7 @@ __all__ = [
     "grid_read_availability",
     "grid_write_availability",
     "dqvl_availability",
+    "dqvl_system_availability",
     "majority_protocol_availability",
     "grid_protocol_availability",
     "rowa_availability",
@@ -113,6 +114,25 @@ def dqvl_availability(
     av_orq = binomial_tail(n_oqs, oqs_read_size, 1.0 - p)
     av_irq = majority_availability(n_iqs, ir, p)
     av_iwq = majority_availability(n_iqs, iw, p)
+    return (1.0 - w) * min(av_orq, av_irq) + w * min(av_iwq, av_irq)
+
+
+def dqvl_system_availability(w, iqs_system, oqs_system, p: float) -> float:
+    """The paper's DQVL formula generalised to arbitrary quorum systems.
+
+    Same min-composition as :func:`dqvl_availability` — reads need an
+    OQS read quorum plus (pessimistically) an IQS read quorum for
+    renewals; writes need IQS read + write quorums; the OQS write
+    quorum never blocks a write indefinitely (expired volume leases
+    substitute) — but the per-quorum terms come from the *systems'* own
+    closed forms, so grid and weighted shapes are scored exactly.  This
+    is the availability axis of the ``repro tune`` scoring model
+    (DESIGN.md §17).
+    """
+    _check_inputs(w, p)
+    av_orq = oqs_system.read_availability(p)
+    av_irq = iqs_system.read_availability(p)
+    av_iwq = iqs_system.write_availability(p)
     return (1.0 - w) * min(av_orq, av_irq) + w * min(av_iwq, av_irq)
 
 

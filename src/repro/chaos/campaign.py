@@ -95,6 +95,11 @@ class ChaosRunConfig:
     #: the topology's delay distribution (jitter-aware worst-case RTT)
     qrpc_initial_timeout_ms: Optional[float] = None
     qrpc_max_timeout_ms: Optional[float] = None
+    #: declarative IQS/OQS quorum shapes (canonical spec strings, e.g.
+    #: ``"grid:3x3"``; kept as strings so the config stays hashable);
+    #: ``None`` = the paper's defaults
+    iqs_spec: Optional[str] = None
+    oqs_spec: Optional[str] = None
     #: advertised bound on a degraded read's age of information
     degraded_max_staleness_ms: float = 8_000.0
 
@@ -119,6 +124,20 @@ class ChaosRunConfig:
                     "qrpc timeout overrides only reach the dual-quorum "
                     f"deployments, not {self.protocol!r}"
                 )
+        if self.iqs_spec is not None or self.oqs_spec is not None:
+            if self.protocol not in ("dqvl", "basic_dq"):
+                raise ValueError(
+                    "iqs_spec/oqs_spec only reach the dual-quorum "
+                    f"deployments, not {self.protocol!r}"
+                )
+            from ..quorum.spec import QuorumSpec
+
+            for name in ("iqs_spec", "oqs_spec"):
+                value = getattr(self, name)
+                if value is not None:
+                    object.__setattr__(
+                        self, name, str(QuorumSpec.parse(value))
+                    )
         if (self.qrpc_initial_timeout_ms is not None
                 and self.qrpc_initial_timeout_ms <= 0):
             raise ValueError("qrpc_initial_timeout_ms must be positive")
@@ -197,6 +216,8 @@ def _build_deployment(config: ChaosRunConfig, sim: Simulator):
             inval_initial_timeout_ms=200.0,
             qrpc_initial_timeout_ms=initial,
             qrpc_max_timeout_ms=cap,
+            iqs_spec=config.iqs_spec,
+            oqs_spec=config.oqs_spec,
         )
         resilience = None
         if config.resilience:

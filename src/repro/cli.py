@@ -5,6 +5,8 @@ Commands
 ``figure``       regenerate any paper figure's series
                  (fig6a fig6b fig7a fig7b fig8a fig8b fig9a fig9b)
 ``run``          one response-time experiment with explicit parameters
+``tune``         autotune (IQS, OQS) quorum shapes: Pareto frontier +
+                 simulator cross-check
 ``availability`` measured availability under Bernoulli outages
 ``chaos``        randomized chaos campaign with invariant checking
 ``explore``      systematic schedule-space exploration (mini model checker)
@@ -17,6 +19,8 @@ Examples::
     python -m repro figure fig7b
     python -m repro figure fig8a --json
     python -m repro run --protocol dqvl --write-ratio 0.05 --locality 0.9
+    python -m repro run --iqs "majority:r=2,w=4" --oqs rowa
+    python -m repro tune --validate-top 3 --json-out results/tune.json
     python -m repro availability --protocol dqvl --p 0.15 --epochs 200
     python -m repro chaos --seeds 10 --protocols dqvl,majority
     python -m repro chaos --weaken ignore_volume_expiry --shrink
@@ -65,6 +69,7 @@ def _scenario_parent(
     seed: bool = True,
     write_ratio: Optional[float] = None,
     weaken: bool = False,
+    specs: bool = False,
 ) -> argparse.ArgumentParser:
     """One parent parser for the shared scenario flags.
 
@@ -96,6 +101,14 @@ def _scenario_parent(
         parent.add_argument("--weaken", default="",
                             help="inject a named protocol bug "
                                  "(see `repro protocols` for names)")
+    if specs:
+        parent.add_argument("--iqs", metavar="SPEC", default=None,
+                            help='declarative IQS quorum shape, e.g. '
+                                 '"majority:r=2,w=4" or "grid:3x3" '
+                                 '(dqvl-family protocols only)')
+        parent.add_argument("--oqs", metavar="SPEC", default=None,
+                            help='declarative OQS quorum shape, e.g. '
+                                 '"rowa" or "majority:r=2,w=5"')
     return parent
 
 
@@ -115,6 +128,10 @@ def _scenario_from_args(args, **overrides) -> ScenarioConfig:
             kwargs[name] = getattr(args, name)
     if args.lease_length_ms is not None:
         kwargs["lease_length_ms"] = args.lease_length_ms
+    for flag, field_name in (("iqs", "iqs_spec"), ("oqs", "oqs_spec")):
+        value = getattr(args, flag, None)
+        if value is not None:
+            kwargs[field_name] = value
     kwargs.update(overrides)
     return ScenarioConfig(**kwargs)
 
@@ -138,7 +155,7 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser(
         "run", help="one response-time experiment",
         parents=[_scenario_parent(write_ratio=0.05, ops=200,
-                                  clients=3, edges=9)],
+                                  clients=3, edges=9, specs=True)],
     )
     run.add_argument("--locality", type=float, default=1.0)
     run.add_argument("--burst", type=float, default=None,
@@ -148,7 +165,7 @@ def build_parser() -> argparse.ArgumentParser:
     shard = sub.add_parser(
         "shard", help="one large scenario, sharded across worker processes",
         parents=[_scenario_parent(write_ratio=0.05, ops=200,
-                                  clients=24, edges=9)],
+                                  clients=24, edges=9, specs=True)],
     )
     shard.add_argument("--locality", type=float, default=1.0)
     shard.add_argument("--groups", type=int, default=8,
@@ -196,6 +213,11 @@ def build_parser() -> argparse.ArgumentParser:
     cdn.add_argument("--flash-peak", type=float, default=5.0)
     cdn.add_argument("--diurnal-amplitude", type=float, default=0.0)
     cdn.add_argument("--diurnal-period-ms", type=float, default=60_000.0)
+    cdn.add_argument("--iqs", metavar="SPEC", default=None,
+                     help='declarative IQS quorum shape, e.g. '
+                          '"grid:3x3" (dqvl-family protocols only)')
+    cdn.add_argument("--oqs", metavar="SPEC", default=None,
+                     help='declarative OQS quorum shape, e.g. "rowa"')
     cdn.add_argument("--groups", type=int, default=1,
                      help="population shards on the sweep process pool "
                           "(1 = single simulation)")
@@ -210,6 +232,37 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write the canonical result JSON here "
                           "(same-seed runs are byte-identical)")
     cdn.add_argument("--json", action="store_true")
+
+    tune = sub.add_parser(
+        "tune",
+        help="autotune (IQS, OQS) quorum shapes: analytic Pareto "
+             "frontier over latency/load/availability, optionally "
+             "validated through the simulator",
+    )
+    tune.add_argument("--num-edges", "--edges", dest="edges", type=int,
+                      default=5, help="IQS and OQS node count")
+    tune.add_argument("--read-fraction", type=float, default=0.9)
+    tune.add_argument("--p", type=float, default=0.05,
+                      help="per-node unavailability for the "
+                           "availability axis")
+    tune.add_argument("--jitter-ms", type=float, default=5.0,
+                      help="per-message uniform jitter (> 0 makes "
+                           "quorum size matter for latency)")
+    tune.add_argument("--seed", type=int, default=0)
+    tune.add_argument("--validate-top", type=int, default=0, metavar="K",
+                      help="cross-check the top K frontier entries "
+                           "(plus the default pair) on the simulator")
+    tune.add_argument("--ops", type=int, default=150,
+                      help="ops per client in latency validation runs")
+    tune.add_argument("--epochs", type=int, default=150,
+                      help="epochs in availability validation runs")
+    tune.add_argument("--workers", type=int, default=None)
+    tune.add_argument("--no-cache", action="store_true")
+    tune.add_argument("--json-out", default=None,
+                      help="write the byte-stable Pareto-frontier JSON "
+                           "artifact here (same config + code -> "
+                           "identical bytes)")
+    tune.add_argument("--json", action="store_true")
 
     avail = sub.add_parser("availability", help="measured availability")
     avail.add_argument(
@@ -253,7 +306,7 @@ def build_parser() -> argparse.ArgumentParser:
         "chaos",
         help="randomized fault campaign with consistency + invariant checks",
         parents=[_scenario_parent(protocol=False, seed=False, weaken=True,
-                                  ops=40, clients=3, edges=3)],
+                                  ops=40, clients=3, edges=3, specs=True)],
     )
     chaos.add_argument("--protocols", default="dqvl",
                        help='comma-separated protocol list, or "all"')
@@ -432,7 +485,13 @@ def _cmd_run(args) -> int:
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
-    result = run_response_time(config)
+    try:
+        result = run_response_time(config)
+    except ValueError as exc:
+        # deep config errors surface at deploy time, e.g. a quorum
+        # spec whose shape cannot be built over --num-edges nodes
+        print(str(exc), file=sys.stderr)
+        return 2
     s = result.summary
     payload = {
         "protocol": args.protocol,
@@ -467,12 +526,16 @@ def _cmd_shard(args) -> int:
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
-    result = run_sharded(
-        config,
-        num_groups=args.groups,
-        workers=args.workers,
-        cache=not args.no_cache,
-    )
+    try:
+        result = run_sharded(
+            config,
+            num_groups=args.groups,
+            workers=args.workers,
+            cache=not args.no_cache,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     s = result.summary
     payload = {
         "protocol": args.protocol,
@@ -507,8 +570,18 @@ def _cmd_shard(args) -> int:
 def _cmd_cdn(args) -> int:
     from .edge.cdn import CdnScenarioConfig, run_cdn
 
+    deploy_kwargs = {}
+    if args.iqs is not None:
+        deploy_kwargs["iqs_spec"] = args.iqs
+    if args.oqs is not None:
+        deploy_kwargs["oqs_spec"] = args.oqs
+    if deploy_kwargs and args.protocol not in ("dqvl", "basic_dq"):
+        print(f"--iqs/--oqs only apply to dqvl-family protocols, "
+              f"not {args.protocol!r}", file=sys.stderr)
+        return 2
     try:
         config = CdnScenarioConfig(
+            deploy_kwargs=deploy_kwargs,
             protocol=args.protocol,
             seed=args.seed,
             users=args.users,
@@ -600,6 +673,87 @@ def _cmd_cdn(args) -> int:
             title=f"{args.protocol}: cdn scenario "
                   f"({args.users:,} modeled users, {config.num_pops} PoPs)",
         ))
+    return 0
+
+
+def _cmd_tune(args) -> int:
+    from .tune import TuneConfig, run_tune
+
+    try:
+        config = TuneConfig(
+            num_edges=args.edges,
+            read_fraction=args.read_fraction,
+            p=args.p,
+            jitter_ms=args.jitter_ms,
+            seed=args.seed,
+            validate_top=args.validate_top,
+            ops_per_client=args.ops,
+            epochs=args.epochs,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    report = run_tune(config, workers=args.workers, cache=not args.no_cache)
+
+    if args.json_out:
+        os.makedirs(os.path.dirname(args.json_out) or ".", exist_ok=True)
+        with open(args.json_out, "w") as fh:
+            fh.write(report.frontier_json())
+        print(f"frontier artifact written to {args.json_out}",
+              file=sys.stderr)
+    if args.json:
+        print(json.dumps(report.to_json_obj(), indent=2))
+        return 0
+
+    def row(score, label=""):
+        return [
+            label or f"{score.iqs} | {score.oqs}",
+            f"{score.latency_ms:.2f}",
+            f"{score.load:.3f}",
+            f"{score.availability:.6f}",
+        ]
+
+    header = ["iqs | oqs", "latency_ms", "load", "availability"]
+    print(format_table(
+        header,
+        [row(s) for s in report.frontier],
+        title=f"Pareto frontier ({report.num_candidates} candidates, "
+              f"n={config.num_edges}, f={config.read_fraction}, "
+              f"p={config.p})",
+    ))
+    print(format_table(
+        header, [row(report.default, "default: majority | rowa")],
+        title="paper default",
+    ))
+    if report.dominating:
+        print(format_table(
+            header + ["axes better"],
+            [row(s) + [", ".join(axes)] for s, axes in report.dominating],
+            title="candidates beating the default on >= 2 of 3 axes",
+        ))
+    else:
+        print("no candidate beats the default on >= 2 of 3 axes")
+    if report.validation:
+        print(format_table(
+            ["iqs | oqs", "lat model", "lat sim", "rel err",
+             "av model", "av sim", "abs err", "ok"],
+            [
+                [
+                    f"{v.iqs} | {v.oqs}",
+                    f"{v.analytic_latency_ms:.2f}",
+                    f"{v.simulated_latency_ms:.2f}",
+                    f"{v.latency_rel_error:.3f}",
+                    f"{v.analytic_availability:.5f}",
+                    f"{v.simulated_availability:.5f}",
+                    f"{v.availability_abs_error:+.5f}",
+                    "yes" if v.ok else "NO",
+                ]
+                for v in report.validation
+            ],
+            title="analytic vs simulated cross-check",
+        ))
+        if not all(v.ok for v in report.validation):
+            return 1
     return 0
 
 
@@ -714,14 +868,18 @@ def _cmd_chaos(args) -> int:
     )
     scenario = _scenario_from_args(args)
     mode = "frontend" if (args.frontend or args.resilience) else "direct"
-    configs = [
-        dataclasses.replace(
-            scenario, protocol=protocol, seed=args.seed_base + s
-        ).to_chaos(nemeses=nemeses, trace=args.trace,
-                   mode=mode, resilience=args.resilience)
-        for protocol in protocols
-        for s in range(args.seeds)
-    ]
+    try:
+        configs = [
+            dataclasses.replace(
+                scenario, protocol=protocol, seed=args.seed_base + s
+            ).to_chaos(nemeses=nemeses, trace=args.trace,
+                       mode=mode, resilience=args.resilience)
+            for protocol in protocols
+            for s in range(args.seeds)
+        ]
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     points = run_campaign(
         configs, workers=args.workers, cache=not args.no_cache
     )
@@ -1094,6 +1252,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": _cmd_run,
         "shard": _cmd_shard,
         "cdn": _cmd_cdn,
+        "tune": _cmd_tune,
         "availability": _cmd_availability,
         "sweep": _cmd_sweep,
         "report": _cmd_report,

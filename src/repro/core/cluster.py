@@ -16,8 +16,7 @@ import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
-from ..quorum.majority import MajorityQuorumSystem
-from ..quorum.rowa import RowaQuorumSystem
+from ..quorum.spec import DEFAULT_IQS_SPEC, DEFAULT_OQS_SPEC
 from ..quorum.system import QuorumSystem
 from ..sim.clock import DriftingClock
 from ..sim.kernel import Simulator
@@ -95,6 +94,27 @@ def _check_owq_safety(oqs_system: QuorumSystem) -> None:
         )
 
 
+def _resolve_systems(
+    config: DqvlConfig,
+    iqs_ids: Sequence[str],
+    oqs_ids: Sequence[str],
+    iqs_system: Optional[QuorumSystem],
+    oqs_system: Optional[QuorumSystem],
+):
+    """Bind the config's quorum specs to the node ids.
+
+    Explicit ``iqs_system``/``oqs_system`` objects win over specs; unset
+    specs fall back to the paper's defaults (majority IQS, read-one/
+    write-all OQS).  All four paths go through
+    :meth:`~repro.quorum.spec.QuorumSpec.build`, the single quorum
+    construction point.
+    """
+    iqs_system = iqs_system or (config.iqs_spec or DEFAULT_IQS_SPEC).build(iqs_ids)
+    oqs_system = oqs_system or (config.oqs_spec or DEFAULT_OQS_SPEC).build(oqs_ids)
+    _check_owq_safety(oqs_system)
+    return iqs_system, oqs_system
+
+
 def build_dqvl_cluster(
     sim: Simulator,
     network: Network,
@@ -115,15 +135,16 @@ def build_dqvl_cluster(
         (an edge server hosting both roles) but each id is one simulated
         process; co-location is modelled with zero-delay network links.
     iqs_system / oqs_system:
-        Override the quorum constructions (defaults: majority IQS,
-        read-one/write-all OQS).
+        Override the quorum constructions outright; otherwise the
+        config's ``iqs_spec``/``oqs_spec`` decide (defaults: majority
+        IQS, read-one/write-all OQS).
     clocks:
         Optional per-node drifting clocks (keyed by node id).
     """
     config = config or DqvlConfig()
-    iqs_system = iqs_system or MajorityQuorumSystem(list(iqs_ids))
-    oqs_system = oqs_system or RowaQuorumSystem(list(oqs_ids))
-    _check_owq_safety(oqs_system)
+    iqs_system, oqs_system = _resolve_systems(
+        config, iqs_ids, oqs_ids, iqs_system, oqs_system
+    )
     clocks = clocks or {}
 
     iqs_nodes = [
@@ -173,9 +194,9 @@ def build_basic_dq_cluster(
 ) -> DqvlCluster:
     """Build a basic (lease-free) dual-quorum deployment (Section 3.1)."""
     config = config or DqvlConfig()
-    iqs_system = iqs_system or MajorityQuorumSystem(list(iqs_ids))
-    oqs_system = oqs_system or RowaQuorumSystem(list(oqs_ids))
-    _check_owq_safety(oqs_system)
+    iqs_system, oqs_system = _resolve_systems(
+        config, iqs_ids, oqs_ids, iqs_system, oqs_system
+    )
     clocks = clocks or {}
 
     iqs_nodes = [

@@ -3,8 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Union
 
+from ..quorum.spec import QuorumSpec
 from .volumes import SingleVolumeMap, VolumeMap
 
 __all__ = ["DqvlConfig"]
@@ -75,8 +76,20 @@ class DqvlConfig:
     #: stable storage).  Safe either way: an amnesiac cache simply
     #: misses and revalidates; the default (False) models stable storage.
     volatile_oqs_recovery: bool = False
+    #: declarative IQS/OQS quorum shapes (spec strings, JSON dicts, or
+    #: :class:`~repro.quorum.spec.QuorumSpec` objects are all accepted;
+    #: normalised to specs).  ``None`` keeps the paper's defaults:
+    #: majority IQS, read-one/write-all OQS.  The cluster builders bind
+    #: these to the deployment's node ids via :meth:`QuorumSpec.build`;
+    #: an explicitly passed ``iqs_system``/``oqs_system`` still wins.
+    iqs_spec: Optional[Union[QuorumSpec, str]] = None
+    oqs_spec: Optional[Union[QuorumSpec, str]] = None
 
     def __post_init__(self) -> None:
+        if self.iqs_spec is not None:
+            self.iqs_spec = QuorumSpec.parse(self.iqs_spec)
+        if self.oqs_spec is not None:
+            self.oqs_spec = QuorumSpec.parse(self.oqs_spec)
         if self.lease_length_ms <= 0:
             raise ValueError("lease_length_ms must be positive")
         if not 0.0 <= self.max_drift < 1.0:

@@ -28,6 +28,7 @@ from ..protocols.majority import build_majority_cluster
 from ..protocols.primary_backup import build_primary_backup_cluster
 from ..protocols.rowa import build_rowa_cluster
 from ..protocols.rowa_async import build_rowa_async_cluster
+from ..quorum.spec import QuorumSpec, SpecLike
 from ..quorum.system import QuorumSystem
 from ..resilience import NodeResilience, ResilienceConfig, derive_qrpc_timeouts
 from .frontend import AppClient, FrontEnd, LocalityRedirection
@@ -184,8 +185,16 @@ def deploy_dqvl(
     oqs_system: Optional[QuorumSystem] = None,
     client_max_attempts: Optional[int] = None,
     resilience: Optional[ResilienceConfig] = None,
+    iqs_spec: Optional[SpecLike] = None,
+    oqs_spec: Optional[SpecLike] = None,
 ) -> Deployment:
     """Deploy DQVL: OQS everywhere, IQS on the first *num_iqs* edges.
+
+    *iqs_spec*/*oqs_spec* override the quorum shapes declaratively
+    (e.g. ``"grid:3x3"``) while keeping the deployment's derived
+    defaults — QRPC timeouts, volume maps — intact; they also override
+    the shapes of a passed *config*.  A prebuilt *iqs_system*/
+    *oqs_system* still wins over both.
 
     With *resilience* set, every OQS node and service client gets a
     :class:`NodeResilience` (failure detector, adaptive timeouts,
@@ -201,6 +210,10 @@ def deploy_dqvl(
         config = DqvlConfig(proactive_renewal=True,
                             qrpc_initial_timeout_ms=initial,
                             qrpc_max_timeout_ms=cap)
+    if iqs_spec is not None:
+        config.iqs_spec = QuorumSpec.parse(iqs_spec)
+    if oqs_spec is not None:
+        config.oqs_spec = QuorumSpec.parse(oqs_spec)
     if client_max_attempts is not None:
         config.client_max_attempts = client_max_attempts
     iqs_ids = [f"iqs{k}" for k in range(num_iqs)]
@@ -257,6 +270,8 @@ def deploy_basic_dq(
     config: Optional[DqvlConfig] = None,
     client_max_attempts: Optional[int] = None,
     resilience: Optional[ResilienceConfig] = None,
+    iqs_spec: Optional[SpecLike] = None,
+    oqs_spec: Optional[SpecLike] = None,
 ) -> Deployment:
     """Deploy the lease-free basic dual-quorum protocol (Section 3.1)."""
     n = topology.config.num_edges
@@ -265,6 +280,10 @@ def deploy_basic_dq(
         initial, cap = derive_qrpc_timeouts(topology.config)
         config = DqvlConfig(qrpc_initial_timeout_ms=initial,
                             qrpc_max_timeout_ms=cap)
+    if iqs_spec is not None:
+        config.iqs_spec = QuorumSpec.parse(iqs_spec)
+    if oqs_spec is not None:
+        config.oqs_spec = QuorumSpec.parse(oqs_spec)
     if client_max_attempts is not None:
         config.client_max_attempts = client_max_attempts
     iqs_ids = [f"iqs{k}" for k in range(num_iqs)]
@@ -318,8 +337,13 @@ def deploy_majority(
     topology: EdgeTopology,
     system: Optional[QuorumSystem] = None,
     client_max_attempts: Optional[int] = None,
+    spec: Optional[SpecLike] = None,
 ) -> Deployment:
-    """Deploy a majority-quorum register, one replica per edge server."""
+    """Deploy a majority-quorum register, one replica per edge server.
+
+    *spec* (e.g. ``"grid:3x3"``) picks a non-default quorum shape; a
+    prebuilt *system* wins over it.
+    """
     n = topology.config.num_edges
     server_ids = [f"srv{k}" for k in range(n)]
     qrpc_config = default_qrpc(topology)
@@ -327,7 +351,7 @@ def deploy_majority(
         qrpc_config["max_attempts"] = client_max_attempts
     cluster = build_majority_cluster(
         topology.sim, topology.network, server_ids,
-        system=system, qrpc_config=qrpc_config,
+        system=system, qrpc_config=qrpc_config, spec=spec,
     )
     for k, node_id in enumerate(server_ids):
         topology.place_on_edge(node_id, k)

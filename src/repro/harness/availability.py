@@ -71,6 +71,12 @@ class AvailabilitySimConfig:
     max_attempts: int = 2
     rpc_timeout_ms: float = 150.0
     lease_length_ms: float = 1_500.0
+    #: declarative IQS/OQS quorum shapes (canonical spec strings;
+    #: DQVL only).  ``None`` = the paper's defaults.  The ``repro tune``
+    #: autotuner uses these to cross-check its analytic availability
+    #: predictions against measurement.
+    iqs_spec: Optional[str] = None
+    oqs_spec: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.protocol not in _SUPPORTED:
@@ -81,6 +87,18 @@ class AvailabilitySimConfig:
             raise ValueError("p must be in [0, 1]")
         if self.epochs < 1 or self.num_replicas < 1:
             raise ValueError("epochs and num_replicas must be positive")
+        if self.iqs_spec is not None or self.oqs_spec is not None:
+            if self.protocol != "dqvl":
+                raise ValueError(
+                    "iqs_spec/oqs_spec only reach the dqvl deployment, "
+                    f"not {self.protocol!r}"
+                )
+            from ..quorum.spec import QuorumSpec
+
+            for name in ("iqs_spec", "oqs_spec"):
+                value = getattr(self, name)
+                if value is not None:
+                    setattr(self, name, str(QuorumSpec.parse(value)))
 
 
 @dataclass
@@ -121,6 +139,8 @@ def _build(config: AvailabilitySimConfig, sim: Simulator, net: Network):
             qrpc_initial_timeout_ms=config.rpc_timeout_ms,
             inval_initial_timeout_ms=config.rpc_timeout_ms,
             client_max_attempts=config.max_attempts,
+            iqs_spec=config.iqs_spec,
+            oqs_spec=config.oqs_spec,
         )
         cluster = build_dqvl_cluster(
             sim, net,

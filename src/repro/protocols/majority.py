@@ -20,8 +20,8 @@ from __future__ import annotations
 
 from typing import Any, Dict, Optional, Sequence
 
-from ..quorum.majority import MajorityQuorumSystem
 from ..quorum.qrpc import READ, WRITE, qrpc
+from ..quorum.spec import QuorumSpec, SpecLike
 from ..quorum.system import QuorumSystem
 from ..sim.kernel import Simulator
 from ..sim.messages import Message
@@ -170,12 +170,15 @@ def build_majority_cluster(
     server_ids: Sequence[str],
     system: Optional[QuorumSystem] = None,
     qrpc_config: Optional[Dict[str, Any]] = None,
+    spec: Optional[SpecLike] = None,
 ) -> MajorityCluster:
     """Build a majority-quorum register over *server_ids*.
 
-    Pass a custom *system* (e.g. a grid quorum) to reuse the same server
-    and client logic with a different quorum construction.
+    Pass a *spec* (e.g. ``"grid:3x3"``) or a prebuilt *system* to reuse
+    the same server and client logic with a different quorum
+    construction; *system* wins when both are given.
     """
-    system = system or MajorityQuorumSystem(list(server_ids))
+    if system is None:
+        system = QuorumSpec.parse(spec or "majority").build(server_ids)
     servers = [MajorityServer(sim, network, node_id) for node_id in server_ids]
     return MajorityCluster(sim, network, servers, system, dict(qrpc_config or {}))

@@ -19,6 +19,7 @@ from typing import Any, Dict, Optional, Sequence
 
 from ..quorum.qrpc import READ, WRITE, qrpc
 from ..quorum.rowa import RowaQuorumSystem
+from ..quorum.spec import QuorumSpec
 from ..sim.kernel import Simulator
 from ..sim.messages import Message
 from ..sim.network import Network
@@ -161,6 +162,6 @@ def build_rowa_cluster(
     qrpc_config: Optional[Dict[str, Any]] = None,
 ) -> RowaCluster:
     """Build a synchronous ROWA deployment over *server_ids*."""
-    system = RowaQuorumSystem(list(server_ids))
+    system = QuorumSpec(kind="rowa").build(server_ids)
     servers = [RowaServer(sim, network, node_id) for node_id in server_ids]
     return RowaCluster(sim, network, servers, system, dict(qrpc_config or {}))

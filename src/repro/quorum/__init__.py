@@ -1,13 +1,33 @@
-"""Quorum systems and quorum-based RPC.
+"""Quorum systems and quorum-based RPC — the stable public facade.
 
 The building blocks from which both the dual-quorum protocol (IQS/OQS)
-and the baseline quorum protocols are assembled.
+and the baseline quorum protocols are assembled.  Import from this
+package, not its submodules; everything listed in ``__all__`` is a
+stable name:
+
+* :class:`QuorumSystem` — the abstract interface (predicates, sampling,
+  sizes, availability);
+* concrete systems — :class:`MajorityQuorumSystem`,
+  :class:`GridQuorumSystem` (+ :func:`near_square_grid`),
+  :class:`RowaQuorumSystem`, :class:`SingleNodeQuorumSystem`,
+  :class:`WeightedVotingSystem`;
+* :class:`QuorumSpec` — the declarative, serializable shape description
+  (``majority:r=2,w=4``, ``grid:3x3``, ...) whose
+  :meth:`~QuorumSpec.build` is the single construction path for every
+  system above, with :data:`DEFAULT_IQS_SPEC` / :data:`DEFAULT_OQS_SPEC`
+  naming the paper's recommended shapes;
+* availability helpers — :func:`binomial_tail`,
+  :func:`exact_quorum_availability`,
+  :func:`monte_carlo_quorum_availability`;
+* quorum RPC — :func:`qrpc`, :class:`QuorumCall`, :class:`QrpcError`,
+  and the :data:`READ` / :data:`WRITE` phase constants.
 """
 
-from .grid import GridQuorumSystem
+from .grid import GridQuorumSystem, near_square_grid
 from .majority import MajorityQuorumSystem, SingleNodeQuorumSystem, binomial_tail
 from .qrpc import READ, WRITE, QrpcError, QuorumCall, qrpc
 from .rowa import RowaQuorumSystem
+from .spec import DEFAULT_IQS_SPEC, DEFAULT_OQS_SPEC, QuorumSpec
 from .system import (
     QuorumSystem,
     exact_quorum_availability,
@@ -21,7 +41,11 @@ __all__ = [
     "SingleNodeQuorumSystem",
     "RowaQuorumSystem",
     "GridQuorumSystem",
+    "near_square_grid",
     "WeightedVotingSystem",
+    "QuorumSpec",
+    "DEFAULT_IQS_SPEC",
+    "DEFAULT_OQS_SPEC",
     "binomial_tail",
     "exact_quorum_availability",
     "monte_carlo_quorum_availability",

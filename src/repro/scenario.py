@@ -113,6 +113,23 @@ class ScenarioConfig:
     #: unset = derive from the topology's delay distribution
     qrpc_initial_timeout_ms: Any = UNSET
     qrpc_max_timeout_ms: Any = UNSET
+    #: declarative IQS/OQS quorum shapes (DQVL-family protocols);
+    #: accepts spec strings, JSON dicts, or QuorumSpec objects and
+    #: normalises to the canonical string form (e.g. ``"grid:3x3"``,
+    #: ``"majority:r=2,w=4"``) so the frozen scenario stays hashable
+    iqs_spec: Any = UNSET
+    oqs_spec: Any = UNSET
+
+    def __post_init__(self) -> None:
+        from .quorum.spec import QuorumSpec
+
+        for name in ("iqs_spec", "oqs_spec"):
+            value = getattr(self, name)
+            if value is None:
+                # ``None`` is every runner config's own "default shape"
+                object.__setattr__(self, name, UNSET)
+            elif value is not UNSET:
+                object.__setattr__(self, name, str(QuorumSpec.parse(value)))
 
     # -- extraction --------------------------------------------------------
 
@@ -161,7 +178,8 @@ class ScenarioConfig:
 
         kwargs = self._set_kwargs(*SHARED_FIELDS)
         kwargs.update(self._set_kwargs(
-            "resilience", "qrpc_initial_timeout_ms", "qrpc_max_timeout_ms"
+            "resilience", "qrpc_initial_timeout_ms", "qrpc_max_timeout_ms",
+            "iqs_spec", "oqs_spec",
         ))
         kwargs.update(overrides)
         return ChaosRunConfig(**kwargs)
@@ -182,6 +200,12 @@ class ScenarioConfig:
                 "the model checker controls timing itself; resilience and "
                 "qrpc timeout overrides do not apply — use to_chaos() / "
                 "to_experiment() for those"
+            )
+        if self.iqs_spec is not UNSET or self.oqs_spec is not UNSET:
+            raise ValueError(
+                "the model checker's state space is calibrated for the "
+                "default quorum shapes; iqs_spec/oqs_spec do not apply — "
+                "use to_chaos() / to_experiment() for tuned shapes"
             )
         kwargs = self._set_kwargs(*SHARED_FIELDS)
         kwargs.update(overrides)
@@ -226,9 +250,10 @@ class ScenarioConfig:
         qrpc_kwargs = self._set_kwargs(
             "qrpc_initial_timeout_ms", "qrpc_max_timeout_ms"
         )
+        spec_kwargs = self._set_kwargs("iqs_spec", "oqs_spec")
         wants_resilience = self.resilience is not UNSET and bool(self.resilience)
         wants_deploy = (
-            lease_kwargs or qrpc_kwargs or wants_resilience
+            lease_kwargs or qrpc_kwargs or spec_kwargs or wants_resilience
             or self.client_max_attempts is not UNSET
         ) and "deploy_kwargs" not in overrides
         if wants_deploy:
@@ -236,8 +261,9 @@ class ScenarioConfig:
             if protocol not in ("dqvl", "basic_dq"):
                 raise ValueError(
                     "lease_length_ms/max_drift/client_max_attempts/resilience"
-                    "/qrpc timeouts only map to DQVL-family deployments, not "
-                    f"{protocol!r}; pass deploy_kwargs explicitly"
+                    "/qrpc timeouts/iqs_spec/oqs_spec only map to DQVL-family "
+                    f"deployments, not {protocol!r}; pass deploy_kwargs "
+                    "explicitly"
                 )
             num_volumes = overrides.get(
                 "num_volumes",
@@ -248,8 +274,12 @@ class ScenarioConfig:
                 deploy["config"] = DqvlConfig(
                     proactive_renewal=(protocol == "dqvl"),
                     volume_map=HashVolumeMap(num_volumes),
-                    **lease_kwargs, **qrpc_kwargs,
+                    **lease_kwargs, **qrpc_kwargs, **spec_kwargs,
                 )
+            else:
+                # deploy-level specs keep the runner's derived defaults
+                # (QRPC timeouts, volume maps) intact
+                deploy.update(spec_kwargs)
             if self.client_max_attempts is not UNSET:
                 deploy["client_max_attempts"] = self.client_max_attempts
             if wants_resilience:
@@ -294,9 +324,10 @@ class ScenarioConfig:
         qrpc_kwargs = self._set_kwargs(
             "qrpc_initial_timeout_ms", "qrpc_max_timeout_ms"
         )
+        spec_kwargs = self._set_kwargs("iqs_spec", "oqs_spec")
         wants_resilience = self.resilience is not UNSET and bool(self.resilience)
         wants_deploy = (
-            lease_kwargs or qrpc_kwargs or wants_resilience
+            lease_kwargs or qrpc_kwargs or spec_kwargs or wants_resilience
             or self.client_max_attempts is not UNSET
         ) and "deploy_kwargs" not in overrides
         if wants_deploy:
@@ -305,8 +336,12 @@ class ScenarioConfig:
                 if lease_kwargs or qrpc_kwargs:
                     deploy["config"] = DqvlConfig(
                         proactive_renewal=(self.protocol == "dqvl"),
-                        **lease_kwargs, **qrpc_kwargs,
+                        **lease_kwargs, **qrpc_kwargs, **spec_kwargs,
                     )
+                else:
+                    # deploy-level specs keep the deployment's derived
+                    # QRPC timeouts intact
+                    deploy.update(spec_kwargs)
                 if self.client_max_attempts is not UNSET:
                     deploy["client_max_attempts"] = self.client_max_attempts
                 if wants_resilience:
@@ -317,8 +352,9 @@ class ScenarioConfig:
             else:
                 raise ValueError(
                     "lease_length_ms/max_drift/client_max_attempts/resilience"
-                    "/qrpc timeouts only map to DQVL-family deployments, not "
-                    f"{self.protocol!r}; pass deploy_kwargs explicitly"
+                    "/qrpc timeouts/iqs_spec/oqs_spec only map to DQVL-family "
+                    f"deployments, not {self.protocol!r}; pass deploy_kwargs "
+                    "explicitly"
                 )
         kwargs.update(overrides)
         return ExperimentConfig(**kwargs)

@@ -1,0 +1,36 @@
+"""Quorum-shape autotuning (``repro tune``).
+
+Enumerates (IQS, OQS) candidate shapes over the declarative
+:class:`repro.quorum.QuorumSpec` API, scores each analytically on
+expected latency, per-node load, and availability, emits the Pareto
+frontier as a byte-stable JSON artifact, and optionally validates the
+winners through the real simulator.  See DESIGN.md §17 for the scoring
+model and tolerances.
+"""
+
+from .candidates import candidate_pairs, iqs_candidates, oqs_candidates
+from .model import CandidateScore, LatencyModel, score_candidate, tri_max_mean
+from .runner import (
+    TuneConfig,
+    TuneReport,
+    ValidationRow,
+    canonical_json,
+    pareto_frontier,
+    run_tune,
+)
+
+__all__ = [
+    "CandidateScore",
+    "LatencyModel",
+    "TuneConfig",
+    "TuneReport",
+    "ValidationRow",
+    "candidate_pairs",
+    "canonical_json",
+    "iqs_candidates",
+    "oqs_candidates",
+    "pareto_frontier",
+    "run_tune",
+    "score_candidate",
+    "tri_max_mean",
+]

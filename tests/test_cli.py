@@ -30,7 +30,8 @@ class TestFigureGenerators:
         x_label, x_values, series = generate_figure("fig6a", ops=20, seed=1)
         assert x_label == "metric"
         assert set(series) == {
-            "dqvl", "majority", "primary_backup", "rowa", "rowa_async"
+            "dqvl", "majority", "primary_backup", "rowa", "rowa_async",
+            "dqvl_tuned",
         }
 
 

@@ -1,0 +1,162 @@
+"""Tests for the declarative QuorumSpec API (parse/serialise/build)."""
+
+import pytest
+
+from repro.core.config import DqvlConfig
+from repro.quorum import (
+    DEFAULT_IQS_SPEC,
+    DEFAULT_OQS_SPEC,
+    GridQuorumSystem,
+    MajorityQuorumSystem,
+    QuorumSpec,
+    RowaQuorumSystem,
+    SingleNodeQuorumSystem,
+    WeightedVotingSystem,
+)
+
+
+def nodes(n):
+    return [f"n{i}" for i in range(n)]
+
+
+ROUND_TRIP_SPECS = [
+    QuorumSpec(kind="majority"),
+    QuorumSpec(kind="majority", read_size=2, write_size=4),
+    QuorumSpec(kind="grid"),
+    QuorumSpec(kind="grid", rows=3, cols=3),
+    QuorumSpec(kind="rowa"),
+    QuorumSpec(kind="single"),
+    QuorumSpec(kind="weighted", votes=(3, 1, 1, 1, 1),
+               read_threshold=4, write_threshold=4),
+]
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("spec", ROUND_TRIP_SPECS, ids=str)
+    def test_string_round_trip(self, spec):
+        assert QuorumSpec.parse(str(spec)) == spec
+
+    @pytest.mark.parametrize("spec", ROUND_TRIP_SPECS, ids=str)
+    def test_json_round_trip(self, spec):
+        assert QuorumSpec.from_json(spec.to_json()) == spec
+
+    def test_parse_accepts_spec_and_dict(self):
+        spec = QuorumSpec(kind="grid", rows=3, cols=3)
+        assert QuorumSpec.parse(spec) is spec
+        assert QuorumSpec.parse(spec.to_json()) == spec
+
+    def test_canonical_strings(self):
+        assert str(QuorumSpec(kind="majority")) == "majority"
+        assert (
+            str(QuorumSpec(kind="majority", read_size=2, write_size=4))
+            == "majority:r=2,w=4"
+        )
+        assert str(QuorumSpec(kind="grid", rows=3, cols=3)) == "grid:3x3"
+        assert str(QuorumSpec(kind="rowa")) == "rowa"
+
+
+class TestBuild:
+    def test_default_specs_match_seed_construction(self):
+        iqs = DEFAULT_IQS_SPEC.build(nodes(5))
+        seed = MajorityQuorumSystem(nodes(5))
+        assert isinstance(iqs, MajorityQuorumSystem)
+        assert iqs.read_quorum_size == seed.read_quorum_size
+        assert iqs.write_quorum_size == seed.write_quorum_size
+        oqs = DEFAULT_OQS_SPEC.build(nodes(5))
+        assert isinstance(oqs, RowaQuorumSystem)
+
+    def test_each_kind_builds_the_right_system(self):
+        assert isinstance(
+            QuorumSpec.parse("majority:r=2,w=4").build(nodes(5)),
+            MajorityQuorumSystem,
+        )
+        assert isinstance(
+            QuorumSpec.parse("grid:3x2").build(nodes(6)), GridQuorumSystem
+        )
+        assert isinstance(
+            QuorumSpec.parse("single").build(nodes(3)), SingleNodeQuorumSystem
+        )
+        weighted = QuorumSpec.parse("weighted:votes=3-1-1,r=3,w=3")
+        assert isinstance(weighted.build(nodes(3)), WeightedVotingSystem)
+
+    def test_grid_without_dims_is_near_square(self):
+        grid = QuorumSpec(kind="grid").build(nodes(9))
+        assert isinstance(grid, GridQuorumSystem)
+        assert (grid.rows, grid.cols) == (3, 3)
+
+
+class TestRejection:
+    def test_non_intersecting_majority_rejected_at_build(self):
+        spec = QuorumSpec(kind="majority", read_size=2, write_size=3)
+        with pytest.raises(ValueError, match="intersection"):
+            spec.build(nodes(9))
+
+    def test_grid_dims_must_fit_node_count(self):
+        with pytest.raises(ValueError):
+            QuorumSpec(kind="grid", rows=2, cols=2).build(nodes(9))
+
+    def test_zero_weight_voters_rejected(self):
+        with pytest.raises(ValueError):
+            QuorumSpec(
+                kind="weighted", votes=(0, 1, 1),
+                read_threshold=2, write_threshold=2,
+            )
+
+    def test_weighted_thresholds_must_intersect(self):
+        with pytest.raises(ValueError):
+            QuorumSpec(
+                kind="weighted", votes=(1, 1, 1),
+                read_threshold=1, write_threshold=1,
+            )
+
+    def test_weighted_votes_must_match_node_count(self):
+        spec = QuorumSpec(
+            kind="weighted", votes=(2, 1, 1),
+            read_threshold=3, write_threshold=2,
+        )
+        with pytest.raises(ValueError):
+            spec.build(nodes(5))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            QuorumSpec(kind="paxos")
+        with pytest.raises(ValueError):
+            QuorumSpec.parse("paxos")
+
+    def test_foreign_params_rejected(self):
+        with pytest.raises(ValueError):
+            QuorumSpec(kind="rowa", read_size=1)
+        with pytest.raises(ValueError):
+            QuorumSpec.parse("grid:r=2,w=2")
+        with pytest.raises(ValueError):
+            QuorumSpec.from_json({"kind": "majority", "bogus": 1})
+
+    def test_empty_node_list_rejected(self):
+        with pytest.raises(ValueError):
+            QuorumSpec(kind="rowa").build([])
+
+
+class TestConfigIntegration:
+    def test_dqvl_config_normalises_spec_strings(self):
+        config = DqvlConfig(iqs_spec="majority:r=2,w=4", oqs_spec="rowa")
+        assert config.iqs_spec == QuorumSpec(
+            kind="majority", read_size=2, write_size=4
+        )
+        assert config.oqs_spec == QuorumSpec(kind="rowa")
+
+    def test_cluster_uses_specs(self):
+        from repro.core.cluster import build_dqvl_cluster
+        from repro.sim.kernel import Simulator
+        from repro.sim.network import ConstantDelay, Network
+
+        sim = Simulator(seed=1)
+        net = Network(sim, ConstantDelay(5.0))
+        cluster = build_dqvl_cluster(
+            sim, net,
+            [f"iqs{i}" for i in range(5)],
+            [f"oqs{i}" for i in range(5)],
+            DqvlConfig(iqs_spec="majority:r=2,w=4"),
+        )
+        assert cluster.iqs_system.read_quorum_size == 2
+        assert cluster.iqs_system.write_quorum_size == 4
+        assert isinstance(cluster.oqs_system, RowaQuorumSystem)
